@@ -1,0 +1,220 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Unweighted local-oversampling vs root-scheduled weighted sparsification
+   inside CC — the paper: "an improvement that turned out to be crucial in
+   practice" (§3.2).
+2. Staged vs pipelined AppMC — the paper: "in practice, we found that it
+   does not pay off to pipeline the outer loop" when the cut is small
+   (§3.3).
+3. Sparse vs dense bulk edge contraction — the representation switch at
+   m ~ n^2/log n (§3, §4.1).
+4. Eager Step on/off in MC — contracting to sqrt(m) first is what makes
+   sparse trials affordable (§4: O(m log n) work per trial instead of
+   O(n^2)).
+"""
+
+import math
+
+import numpy as np
+from repro.bsp import run_spmd
+from repro.cache import AnalyticTracker
+from repro.core import approx_minimum_cut, connected_components
+from repro.core.contraction import dense_bulk_contract, row_block, sparse_bulk_contract
+from repro.core.karger_stein import karger_stein_matrix
+from repro.core.mincut import _edges_to_dense, sequential_trial
+from repro.core.sparsify import sparsify_weighted
+from repro.graph import AdjacencyMatrix, erdos_renyi, two_cliques_bridge
+from repro.graph.contract import components_from_edges
+from repro.rng import philox_stream
+from repro.rng.streams import RngStreams
+
+from common import MODEL, once, report_experiment
+
+SEED = 13
+
+
+# -- 1. unweighted vs weighted sparsification inside CC ---------------------
+
+def cc_weighted_sampling_program(ctx, slices, n, eps):
+    """CC variant using the root-scheduled *weighted* sparsifier."""
+    import operator
+
+    comm = ctx.comm
+    g = slices[ctx.rank]
+    u, v = g.u.copy(), g.v.copy()
+    w = np.ones_like(u, dtype=np.float64)
+    labels = np.arange(n, dtype=np.int64) if ctx.rank == 0 else None
+    k = n
+    for _ in range(60):
+        m_total = yield from comm.allreduce(int(u.size), op=operator.add)
+        if m_total == 0:
+            break
+        s = min(m_total, max(16, math.ceil(k ** (1 + eps))))
+        sample = yield from sparsify_weighted(ctx, comm, u, v, w, s)
+        if ctx.rank == 0:
+            su, sv, _ = sample
+            g_map, k_new = components_from_edges(k, su, sv)
+            labels = g_map[labels]
+            payload = (g_map, k_new)
+        else:
+            payload = None
+        g_map, k_new = yield from comm.bcast(payload)
+        u, v = g_map[u], g_map[v]
+        keep = u != v
+        u, v, w = u[keep], v[keep], w[keep]
+        ctx.charge_scan(g.m, words_per_elem=2)
+        k = k_new
+    return (labels, k) if ctx.rank == 0 else (None, k)
+
+
+def test_ablation_unweighted_sampling(benchmark):
+    g = erdos_renyi(4_096, 32_768, philox_stream(SEED))
+    rows = []
+    for p in (4, 8):
+        fast = connected_components(g, p=p, seed=SEED)
+        slow = run_spmd(cc_weighted_sampling_program, p, seed=SEED,
+                        args=(g.slices(p), g.n, 0.25))
+        assert fast.n_components == slow.root_value[1]
+        rows.append([
+            p,
+            MODEL.predict(fast.report).total_s,
+            MODEL.predict(slow.report).total_s,
+            fast.report.computation,
+            slow.report.computation,
+        ])
+    report_experiment(
+        "ablation_unweighted_sampling",
+        "CC with unweighted local sampling vs root-scheduled weighted sampling",
+        ["p", "unweighted_s", "weighted_s", "unweighted_ops", "weighted_ops"],
+        rows,
+        notes="paper §3.2: dropping the root round-trip and O(log n) draws "
+              "was 'crucial in practice'",
+    )
+    for row in rows:
+        assert row[1] < row[2], "unweighted variant must be faster"
+    once(benchmark, connected_components, g, p=8, seed=SEED)
+
+
+# -- 2. staged vs pipelined AppMC -------------------------------------------
+
+def test_ablation_appmc_schedules(benchmark):
+    small_cut = two_cliques_bridge(16, bridge_weight=1.0)
+    big_cut = two_cliques_bridge(16, bridge_weight=48.0)
+    rows = []
+    for name, g in (("small_cut", small_cut), ("big_cut", big_cut)):
+        staged = approx_minimum_cut(g, p=4, seed=SEED)
+        piped = approx_minimum_cut(g, p=4, seed=SEED, pipelined=True)
+        rows.append([
+            name,
+            staged.report.supersteps, piped.report.supersteps,
+            staged.report.total_ops, piped.report.total_ops,
+        ])
+    report_experiment(
+        "ablation_appmc_schedule",
+        "AppMC staged vs pipelined schedule",
+        ["graph", "staged_steps", "piped_steps", "staged_ops", "piped_ops"],
+        rows,
+        notes="paper §3.3: staged stops at the first disconnected level — "
+              "cheaper when the cut is small; pipelined is one CC call "
+              "(O(1) supersteps) regardless of the cut value",
+    )
+    small, big = rows[0], rows[1]
+    # staged pays per level: the big cut costs it more supersteps …
+    assert big[1] > small[1]
+    # … while the small-cut instance does far less work staged than piped.
+    assert small[3] < small[4]
+    once(benchmark, approx_minimum_cut, small_cut, p=4, seed=SEED)
+
+
+# -- 3. sparse vs dense bulk contraction crossover ---------------------------
+
+def _run_sparse_contract(g, labels, n_new, p):
+    slices = g.slices(p)
+
+    def prog(ctx):
+        sl = slices[ctx.rank]
+        out = yield from sparse_bulk_contract(
+            ctx, ctx.comm, sl.u, sl.v, sl.w, labels, n_new
+        )
+        return out
+
+    return run_spmd(prog, p, seed=SEED)
+
+
+def _run_dense_contract(g, labels, n_new, p):
+    a = AdjacencyMatrix.from_edgelist(g).a
+
+    def prog(ctx):
+        lo, hi = row_block(ctx.rank, ctx.p, g.n)
+        out = yield from dense_bulk_contract(
+            ctx, ctx.comm, a[lo:hi].copy(), g.n, labels, n_new
+        )
+        return out
+
+    return run_spmd(prog, p, seed=SEED)
+
+
+def test_ablation_contraction_representations(benchmark):
+    n, p = 512, 4
+    rng = philox_stream(SEED)
+    labels = rng.integers(0, n // 2, n).astype(np.int64)
+    rows = []
+    for m in (2_048, 16_384, 65_536, 120_000):
+        g = erdos_renyi(n, m, philox_stream(SEED + m), weighted=True)
+        sparse = _run_sparse_contract(g, labels, n // 2, p)
+        dense = _run_dense_contract(g, labels, n // 2, p)
+        rows.append([
+            m,
+            MODEL.predict(sparse.report).total_s,
+            MODEL.predict(dense.report).total_s,
+        ])
+    report_experiment(
+        "ablation_contraction",
+        f"sparse vs dense bulk contraction, n={n}, p={p}, growing m",
+        ["m", "sparse_s", "dense_s"],
+        rows,
+        notes="§3: edge arrays win while m << n^2/log n; the dense matrix "
+              "path is flat in m and wins as the graph densifies",
+    )
+    assert rows[0][1] < rows[0][2], "sparse wins on the sparsest input"
+    dense_times = [r[2] for r in rows]
+    assert max(dense_times) < 3 * min(dense_times), "dense cost ~flat in m"
+    sparse_times = [r[1] for r in rows]
+    assert sparse_times[-1] > 3 * sparse_times[0], "sparse cost grows with m"
+    g = erdos_renyi(n, 16_384, philox_stream(SEED + 16_384), weighted=True)
+    once(benchmark, _run_sparse_contract, g, labels, n // 2, p)
+
+
+# -- 4. eager step on/off -----------------------------------------------------
+
+def test_ablation_eager_step(benchmark):
+    g = erdos_renyi(512, 2_048, philox_stream(SEED), weighted=True)
+    streams = RngStreams(SEED)
+
+    with_eager = AnalyticTracker()
+    val_eager, _ = sequential_trial(g.u, g.v, g.w, g.n, streams.aux(0),
+                                    mem=with_eager)
+
+    without = AnalyticTracker()
+    a = _edges_to_dense(g.u, g.v, g.w, g.n)
+    without.alloc("ks_matrix", g.n * g.n)
+    without.scan("ks_matrix", 0, g.n * g.n)
+    without.ops(g.n * g.n)
+    val_plain, _ = karger_stein_matrix(a, streams.aux(1), without)
+
+    rows = [[
+        "with_eager", with_eager.op_count, with_eager.miss_count, val_eager,
+    ], [
+        "recursive_only", without.op_count, without.miss_count, val_plain,
+    ]]
+    report_experiment(
+        "ablation_eager_step",
+        f"one MC trial with vs without the Eager Step, ER n={g.n} m={g.m}",
+        ["variant", "ops", "misses", "cut_found"],
+        rows,
+        notes="§4: contracting to sqrt(m) vertices first turns the "
+              "per-trial cost from ~n^2 into ~m log n on sparse graphs",
+    )
+    assert with_eager.op_count * 3 < without.op_count, \
+        "eager step must save several-fold work per trial"
+    once(benchmark, sequential_trial, g.u, g.v, g.w, g.n, streams.aux(2))

@@ -1,0 +1,158 @@
+"""Figure 4: CC cache efficiency, sequential comparison, IPM, 4d scaling.
+
+Paper setup: (4a) LLC misses of sequential CC vs BGL vs Galois on R-MAT
+d = 256 with growing n — the sampling CC and the union-find code incur
+significantly fewer misses than the BFS traversal as inputs grow (~3x at
+10^6 vertices); (4b) the corresponding execution times, where CC's higher
+instruction count is offset by its cache behaviour; (4c) instructions per
+LLC miss; (4d) strong scaling with the app/MPI split on a dense R-MAT.
+
+Scaled reproduction: R-MAT d ~ 128 with n in {2k, 4k, 8k}, traced through
+the LRU simulator with a 2k-word cache (so the vertex-indexed arrays cross
+the cache boundary inside the sweep, as the paper's 10^6-vertex inputs do
+against the 45 MiB LLC).  The miss gap is ~1.5x at our largest size — the
+paper's 3x needs the full 10^6-vertex scale — but the ordering and the
+growth of the gap reproduce.
+"""
+
+import pytest
+
+from repro.baselines import bgl_cc, galois_cc, galois_cc_parallel, pbgl_cc
+from repro.cache import LRUTracker
+from repro.core import cc_sequential, connected_components
+from repro.graph import rmat
+from repro.rng import philox_stream
+
+from common import MODEL, once, report_experiment, sequential_time
+
+SEED = 4
+NS = (2_048, 4_096, 8_192)
+DEG = 128
+CACHE_M, CACHE_B = 2_048, 8
+
+
+def tracker():
+    return LRUTracker(M=CACHE_M, B=CACHE_B)
+
+
+@pytest.fixture(scope="module")
+def size_sweep():
+    rows = []
+    for n in NS:
+        g = rmat(n, n * DEG // 2, philox_stream(SEED))
+        mems = {}
+        for name, fn in [
+            ("cc", lambda m: cc_sequential(g, seed=SEED, mem=m)),
+            ("bgl", lambda m: bgl_cc(g, mem=m)),
+            ("galois", lambda m: galois_cc(g, mem=m)),
+        ]:
+            mem = tracker()
+            fn(mem)
+            mems[name] = mem
+        rows.append(
+            [n, g.m]
+            + [mems[k].miss_count for k in ("cc", "bgl", "galois")]
+            + [sequential_time(mems[k]) for k in ("cc", "bgl", "galois")]
+            + [mems[k].instructions_per_miss() for k in ("cc", "bgl", "galois")]
+        )
+    return rows
+
+
+def test_fig4a_sequential_cache_misses(benchmark, size_sweep):
+    rows = [[r[0], r[2], r[3], r[4]] for r in size_sweep]
+    report_experiment(
+        "fig4a_cc_llc_misses",
+        f"sequential LLC misses (LRU-traced), R-MAT d~{DEG}, growing n",
+        ["n", "cc_misses", "bgl_misses", "galois_misses"],
+        rows,
+        notes="shape: CC and Galois fall below the BFS traversal once the "
+              "vertex arrays outgrow the cache; gap grows with n "
+              "(paper: ~3x at 10^6 vertices; ~1.5x at this scale)",
+    )
+    last = rows[-1]
+    assert last[1] < 0.8 * last[2], "CC clearly below BGL at the largest size"
+    assert last[3] < last[2], "Galois below BGL"
+    first = rows[0]
+    assert last[2] / last[1] > first[2] / first[1], "gap grows with n"
+    g = rmat(NS[0], NS[0] * DEG // 2, philox_stream(SEED))
+    once(benchmark, cc_sequential, g, seed=SEED, mem=tracker())
+
+
+def test_fig4b_sequential_time(benchmark, size_sweep):
+    rows = [[r[0], r[5], r[6], r[7]] for r in size_sweep]
+    report_experiment(
+        "fig4b_cc_sequential_time",
+        f"sequential execution time, R-MAT d~{DEG}, growing n",
+        ["n", "cc_s", "bgl_s", "galois_s"],
+        rows,
+        notes="shape: CC executes fewer instructions per edge than the "
+              "traversal and wins on time at the largest size",
+    )
+    last = rows[-1]
+    assert last[1] < last[2], "sequential CC faster than BGL at scale (§5.1)"
+    g = rmat(NS[0], NS[0] * DEG // 2, philox_stream(SEED))
+    once(benchmark, bgl_cc, g, mem=tracker())
+
+
+def test_fig4c_ipm(benchmark, size_sweep, dense_graph):
+    # Traced sequential IPM (the Figure 8b companion panel)...
+    rows = [[r[0], r[8], r[9], r[10]] for r in size_sweep]
+    # ...plus the analytic parallel IPM trend of Figure 4c.
+    parallel_rows = []
+    for p in (1, 4, 16):
+        rep_cc = connected_components(dense_graph, p=p, seed=SEED).report
+        rep_gal = galois_cc_parallel(dense_graph, p=p, seed=SEED)[2]
+        rep_pbgl = pbgl_cc(dense_graph, p=p, seed=SEED)[2]
+        parallel_rows.append([
+            p,
+            rep_cc.instructions_per_miss(),
+            rep_gal.instructions_per_miss(),
+            rep_pbgl.instructions_per_miss(),
+        ])
+    report_experiment(
+        "fig4c_cc_ipm",
+        "instructions per LLC miss: traced sequential (top) and analytic "
+        "parallel trend vs cores (bottom)",
+        ["n_or_cores", "cc_ipm", "bgl_or_galois_ipm", "galois_or_pbgl_ipm"],
+        rows + [["--"] * 4] + parallel_rows,
+        notes="traced: CC sustains higher IPM than the BFS traversal at the "
+              "largest size (paper Fig 8b); analytic: IPM declines as "
+              "parallelism is exhausted (paper Fig 4c trend). The parallel "
+              "IPM *ordering* is not reproducible from analytic counters — "
+              "documented fidelity limit.",
+    )
+    last = rows[-1]
+    assert last[1] > last[2], "CC IPM above BGL at the largest traced size"
+    # parallelism exhausts IPM for every implementation
+    for col in (1, 2, 3):
+        assert parallel_rows[-1][col] <= parallel_rows[0][col]
+    once(benchmark, galois_cc_parallel, dense_graph, p=8, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return rmat(1_024, 131_072, philox_stream(SEED + 1))
+
+
+@pytest.fixture(scope="module")
+def parallel_sweep(dense_graph):
+    rows = []
+    for p in (1, 2, 4, 8, 16):
+        rep_cc = connected_components(dense_graph, p=p, seed=SEED).report
+        t = MODEL.predict(rep_cc)
+        rows.append([p, t.total_s, t.app_s, t.mpi_s])
+    return rows
+
+
+def test_fig4d_strong_scaling(benchmark, parallel_sweep, dense_graph):
+    rows = parallel_sweep
+    report_experiment(
+        "fig4d_cc_strong_scaling",
+        f"CC strong scaling app/MPI split, R-MAT n={dense_graph.n} d~256",
+        ["cores", "total_s", "app_s", "mpi_s"],
+        rows,
+        notes="paper §5.1: MPI share grows from ~3% to ~10% as cores double",
+    )
+    assert rows[-1][2] < rows[0][2] / 4, "application time scales with p"
+    assert rows[-1][3] / rows[-1][1] > rows[0][3] / rows[0][1]
+    once(benchmark, connected_components, dense_graph, p=16, seed=SEED)

@@ -1,0 +1,70 @@
+"""Figure 5: AppMC strong and weak scaling.
+
+Paper setup: (5a) strong scaling on a dense R-MAT (n = 256'000, d = 4'096),
+36-360 cores, app/MPI split — AppMC scales to hundreds of processors on
+dense inputs, MPI ~26% of time at 144 cores; (5b) weak scaling on R-MAT
+n = 16'000 with 2.048M edges per node — time stays near-constant: growing
+edges and processors 8x increased time only 1.55x.
+
+Scaled reproduction: strong scaling on R-MAT n = 1'024, d ~ 256, p = 2..32;
+weak scaling with fixed n = 1'024 and ~16'384 edges per processor.
+"""
+
+import pytest
+
+from repro.core import approx_minimum_cut
+from repro.graph import rmat
+from repro.rng import philox_stream
+
+from common import MODEL, once, report_experiment
+
+SEED = 5
+N = 1_024
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return rmat(N, 524_288, philox_stream(SEED), simple=False)
+
+
+def test_fig5a_strong_scaling(benchmark, dense_graph):
+    rows = []
+    for p in (2, 4, 8, 16):
+        res = approx_minimum_cut(dense_graph, p=p, seed=SEED, trials_per_level=4)
+        t = MODEL.predict(res.report)
+        rows.append([p, t.total_s, t.app_s, t.mpi_s, t.mpi_fraction])
+    report_experiment(
+        "fig5a_appmc_strong_dense",
+        f"AppMC strong scaling, R-MAT n={N} d~512, app/MPI split",
+        ["cores", "total_s", "app_s", "mpi_s", "mpi_frac"],
+        rows,
+        notes="shape: scales on dense inputs; MPI share noticeable but "
+              "bounded (paper: ~26% at 144 cores)",
+    )
+    assert rows[-1][2] < rows[0][2] / 3.5, "application time strong-scales"
+    assert all(r[4] < 0.8 for r in rows), "MPI share stays bounded"
+    once(benchmark, approx_minimum_cut, dense_graph, p=16, seed=SEED,
+         trials_per_level=4)
+
+
+def test_fig5b_weak_scaling(benchmark):
+    """Edges grow with the processor count; time should stay near-flat."""
+    edges_per_proc = 16_384
+    rows = []
+    for p in (2, 4, 8, 16):
+        g = rmat(N, edges_per_proc * p, philox_stream(SEED + p), simple=False)
+        res = approx_minimum_cut(g, p=p, seed=SEED, trials_per_level=4)
+        t = MODEL.predict(res.report)
+        rows.append([p, g.m, t.total_s])
+    report_experiment(
+        "fig5b_appmc_weak",
+        f"AppMC weak scaling, R-MAT n={N}, {edges_per_proc} edges/proc",
+        ["cores", "edges", "total_s"],
+        rows,
+        notes="paper: 8x more edges and processors -> only 1.55x more time",
+    )
+    # 8x growth in edges+procs costs well under 8x in time.
+    growth = rows[-1][2] / rows[0][2]
+    assert growth < 4.0, f"weak scaling broke: {growth:.2f}x time for 8x work"
+    g = rmat(N, edges_per_proc * 4, philox_stream(SEED + 4), simple=False)
+    once(benchmark, approx_minimum_cut, g, p=4, seed=SEED, trials_per_level=4)

@@ -1,0 +1,84 @@
+"""Figure 7: MC weak scaling on sparse and dense graphs.
+
+Paper setup: fixed vertices-per-node (Watts–Strogatz d = 32, 4'000
+vertices/node; R-MAT d = 1'000, 2'000 vertices/node), growing n and p
+together.  Since MC's execution time is ~n^2/p, fixing n/p makes the time
+grow *linearly* in n — the straight trend lines of Figure 7.
+
+Scaled reproduction: WS d = 8 with 64 vertices/processor and R-MAT d ~ 32
+with 32 vertices/processor, p = 2..16.  The linearity check fits the
+measured times against n and requires a good linear fit with positive
+slope.
+"""
+
+import numpy as np
+from repro.core import minimum_cut
+from repro.graph import rmat, watts_strogatz
+from repro.rng import philox_stream
+
+from common import MODEL, once, report_experiment
+
+SEED = 7
+
+
+def weak_sweep(make_graph, verts_per_proc, trials_at_base):
+    rows = []
+    for p in (2, 4, 8, 16):
+        n = verts_per_proc * p
+        g = make_graph(n)
+        # Keep work-per-trial-per-vertex comparable: the trial count of the
+        # base size, held fixed so the sweep isolates the n^2/p growth.
+        res = minimum_cut(g, p=p, seed=SEED, trials=trials_at_base)
+        t = MODEL.predict(res.report)
+        rows.append([p, n, g.m, t.total_s])
+    return rows
+
+
+def check_linear_growth(rows):
+    """Fit time ~ a*n + b; demand positive slope and a decent fit."""
+    n = np.array([r[1] for r in rows], dtype=float)
+    t = np.array([r[3] for r in rows], dtype=float)
+    a, b = np.polyfit(n, t, 1)
+    predicted = a * n + b
+    residual = np.abs(predicted - t) / t.max()
+    assert a > 0, "time must grow with n at fixed n/p"
+    assert residual.max() < 0.35, f"trend not linear: residuals {residual}"
+    # And the growth is far from quadratic: 8x n costs well under 30x time.
+    assert t[-1] / t[0] < 30
+
+
+def test_fig7_weak_sparse(benchmark):
+    rows = weak_sweep(
+        lambda n: watts_strogatz(n, 8, philox_stream(SEED)),
+        verts_per_proc=64,
+        trials_at_base=12,
+    )
+    report_experiment(
+        "fig7_mc_weak_sparse",
+        "MC weak scaling, Watts-Strogatz d=8, 64 vertices/proc",
+        ["cores", "n", "m", "time_s"],
+        rows,
+        notes="shape: execution time grows linearly in n at fixed n/p "
+              "(time ~ n^2/p)",
+    )
+    check_linear_growth(rows)
+    g = watts_strogatz(256, 8, philox_stream(SEED))
+    once(benchmark, minimum_cut, g, p=4, seed=SEED, trials=12)
+
+
+def test_fig7_weak_dense(benchmark):
+    rows = weak_sweep(
+        lambda n: rmat(n, 16 * n, philox_stream(SEED), simple=False),
+        verts_per_proc=32,
+        trials_at_base=8,
+    )
+    report_experiment(
+        "fig7_mc_weak_dense",
+        "MC weak scaling, R-MAT d~32, 32 vertices/proc",
+        ["cores", "n", "m", "time_s"],
+        rows,
+        notes="shape: linear growth in n at fixed n/p on the dense family",
+    )
+    check_linear_growth(rows)
+    g = rmat(128, 16 * 128, philox_stream(SEED), simple=False)
+    once(benchmark, minimum_cut, g, p=4, seed=SEED, trials=8)

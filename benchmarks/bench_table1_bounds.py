@@ -1,0 +1,104 @@
+"""Table 1: measured MC cost counters vs the paper's asymptotic bounds.
+
+The paper's bounds for the communication-avoiding minimum cut:
+
+* supersteps   O(log(pm/n^2))        — constant in the replicated regime,
+  growing only logarithmically once processor groups run parallel trials;
+* computation  O(n^2 log^3 n / p)    — fits a ~n^2/p trend over n at fixed
+  trial count, i.e. doubling n roughly quadruples the bottleneck work;
+* volume       O(n^2 log^2 n log p / p) — dominated by the graph
+  replication + per-trial collectives;
+* space        O(min(m, n^2 log^2 n / p)).
+
+The bench sweeps n at fixed p and p at fixed n, fits log-log slopes of the
+measured counters, and checks them against the bound exponents.
+"""
+
+import numpy as np
+from repro.core import minimum_cut
+from repro.graph import erdos_renyi
+from repro.rng import philox_stream
+
+from common import once, report_experiment
+
+SEED = 11
+TRIALS = 6
+
+
+def run(n, p):
+    g = erdos_renyi(n, 4 * n, philox_stream(SEED), weighted=True)
+    return minimum_cut(g, p=p, seed=SEED, trials=TRIALS).report
+
+
+def test_table1_computation_scales_quadratically(benchmark):
+    """Computation ~ n^2 (log factors absorbed in the tolerance)."""
+    ns = (128, 256, 512)
+    rows = []
+    for n in ns:
+        rep = run(n, p=4)
+        rows.append([n, rep.computation, rep.volume, rep.supersteps])
+    report_experiment(
+        "table1_n_sweep",
+        f"MC counters vs n at p=4, {TRIALS} trials, ER d=8",
+        ["n", "computation", "volume", "supersteps"],
+        rows,
+        notes="bound: computation O(n^2 log^3 n / p); fitted exponent "
+              "should be ~2 (+log slack)",
+    )
+    slope = np.polyfit(np.log([r[0] for r in rows]),
+                       np.log([r[1] for r in rows]), 1)[0]
+    assert 1.5 <= slope <= 3.0, f"computation exponent {slope:.2f} not ~2"
+    # supersteps stay O(1) in the replicated regime (p <= trials)
+    steps = [r[3] for r in rows]
+    assert max(steps) - min(steps) <= 2
+    once(benchmark, run, 256, 4)
+
+
+def test_table1_computation_inverse_in_p(benchmark):
+    """Computation ~ 1/p while p <= t (perfect trial parallelism)."""
+    rows = []
+    for p in (1, 2, 3, 6):
+        rep = run(256, p)
+        rows.append([p, rep.computation, rep.volume, rep.supersteps])
+    report_experiment(
+        "table1_p_sweep",
+        f"MC counters vs p at n=256, {TRIALS} trials",
+        ["p", "computation", "volume", "supersteps"],
+        rows,
+        notes="bound: computation O(n^2 log^3 n / p) — halving work as p "
+              "doubles; supersteps O(log(pm/n^2)) — flat here",
+    )
+    slope = np.polyfit(np.log([r[0] for r in rows]),
+                       np.log([r[1] for r in rows]), 1)[0]
+    assert -1.2 <= slope <= -0.7, f"computation should fall ~1/p, got p^{slope:.2f}"
+    once(benchmark, run, 256, 6)
+
+
+def test_table1_supersteps_log_in_group_regime(benchmark):
+    """With p > t the group trials add only logarithmically many steps."""
+    rows = []
+    for p in (8, 16, 32):
+        rep = run(128, p)  # TRIALS=6 < p: processor-group regime
+        rows.append([p, rep.supersteps, rep.volume])
+    report_experiment(
+        "table1_supersteps",
+        f"MC supersteps vs p (p > t regime), n=128, {TRIALS} trials",
+        ["p", "supersteps", "volume"],
+        rows,
+        notes="bound: O(log(pm/n^2)) supersteps — slow growth in p",
+    )
+    s8, s32 = rows[0][1], rows[-1][1]
+    assert s32 <= 2.5 * s8, "supersteps must grow at most logarithmically"
+    once(benchmark, run, 128, 16)
+
+
+def test_table1_space_bound(benchmark):
+    """The distributed representation never exceeds O(min(m, n^2/p))."""
+    n = 256
+    g = erdos_renyi(n, 4 * n, philox_stream(SEED), weighted=True)
+    res = minimum_cut(g, p=4, seed=SEED, trials=TRIALS)
+    # Communication volume per processor is a witness for the space the
+    # processor materializes; it must stay within a log factor of m.
+    logn3 = np.log2(n) ** 3
+    assert res.report.volume <= g.m * logn3, "volume blow-up beyond bound"
+    once(benchmark, run, 128, 4)

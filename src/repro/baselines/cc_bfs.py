@@ -1,0 +1,87 @@
+"""Sequential BFS connected components ("BGL" baseline).
+
+The Boost Graph Library computes components with a linear-time graph
+traversal over adjacency lists.  We reproduce that access pattern: a CSR
+adjacency structure, a visit queue, and frontier-order neighbour access —
+the pointer-chasing behaviour whose cache misses Figure 4 contrasts with
+the streaming passes of the sampling-based CC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.cache.traced import MemoryTracker, NullTracker
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["bgl_cc", "build_csr"]
+
+
+def build_csr(g: EdgeList) -> tuple[np.ndarray, np.ndarray]:
+    """Compressed sparse row adjacency: ``(xadj, adj)`` with both directions."""
+    deg = np.zeros(g.n + 1, dtype=np.int64)
+    np.add.at(deg, g.u + 1, 1)
+    np.add.at(deg, g.v + 1, 1)
+    xadj = np.cumsum(deg)
+    # Vectorized fill: group endpoints by source (stable sort keeps the
+    # per-vertex neighbour order deterministic); offsets match the cumsum.
+    src = np.concatenate([g.u, g.v])
+    dst = np.concatenate([g.v, g.u])
+    order = np.argsort(src, kind="stable")
+    adj = dst[order]
+    return xadj, adj
+
+
+def bgl_cc(
+    g: EdgeList,
+    mem: MemoryTracker | None = None,
+) -> tuple[np.ndarray, int]:
+    """BFS components; returns ``(labels, count)`` with dense labels.
+
+    ``mem`` records the traversal's memory behaviour (CSR pointer array,
+    adjacency touches in frontier order, label writes).
+    """
+    mem = mem or NullTracker()
+    xadj, adj = build_csr(g)
+    n = g.n
+    mem.alloc("xadj", n + 1)
+    mem.alloc("adj", adj.size)
+    mem.alloc("labels", n)
+    mem.alloc("queue", max(n, 1))
+
+    labels = np.full(n, -1, dtype=np.int64)
+    count = 0
+    queue: deque[int] = deque()
+    pushes = 0
+    pops = 0
+    for start in range(n):
+        mem.touch("labels", start)
+        mem.ops(1)
+        if labels[start] != -1:
+            continue
+        labels[start] = count
+        queue.append(start)
+        mem.touch("queue", pushes % n)
+        pushes += 1
+        while queue:
+            x = queue.popleft()
+            mem.touch("queue", pops % n)
+            pops += 1
+            lo, hi = xadj[x], xadj[x + 1]
+            mem.touch("xadj", x)
+            if hi > lo:
+                mem.scan("adj", int(lo), int(hi - lo))
+            neighbours = adj[lo:hi]
+            mem.ops(int(hi - lo) + 1)
+            for y in neighbours.tolist():
+                mem.touch("labels", y)
+                if labels[y] == -1:
+                    labels[y] = count
+                    queue.append(y)
+                    mem.touch("queue", pushes % n)
+                    pushes += 1
+            mem.ops(2 * int(hi - lo))
+        count += 1
+    return labels, count

@@ -1,0 +1,65 @@
+"""Sequential cache-oblivious Karger–Stein baseline ("KS", [13]).
+
+Repeated recursive contraction on the dense weight matrix.  A single
+recursive contraction finds a given minimum cut with probability
+1/Omega(log n) (Lemma 2.2), so ``ceil(ln(1/(1-P)) * log2 n)`` repetitions
+give success probability P — the same 0.9 default as the artifact.
+
+The matrix recursion itself is shared with the exact minimum cut's
+Recursive Step leaf (:mod:`repro.core.karger_stein`); this module adds the
+EdgeList-facing driver and the repetition loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cache.traced import MemoryTracker, NullTracker
+from repro.core.karger_stein import karger_stein_matrix
+from repro.graph.edgelist import EdgeList
+from repro.graph.matrix import AdjacencyMatrix
+from repro.rng.streams import RngStreams
+
+__all__ = ["karger_stein", "ks_repetitions"]
+
+
+def ks_repetitions(n: int, success_prob: float = 0.9) -> int:
+    """Repetition count for overall success probability ``success_prob``."""
+    if not 0 < success_prob < 1:
+        raise ValueError(f"success_prob must be in (0, 1), got {success_prob}")
+    return max(1, math.ceil(math.log(1 / (1 - success_prob))
+                            * max(1.0, math.log2(max(n, 2)))))
+
+
+def karger_stein(
+    g: EdgeList | AdjacencyMatrix,
+    *,
+    seed: int = 0,
+    success_prob: float = 0.9,
+    repetitions: int | None = None,
+    mem: MemoryTracker | None = None,
+) -> tuple[float, np.ndarray]:
+    """Minimum cut by repeated recursive contraction; ``(value, side)``."""
+    mem = mem or NullTracker()
+    if isinstance(g, EdgeList):
+        a = AdjacencyMatrix.from_edgelist(g).a
+    else:
+        a = g.a
+    n = a.shape[0]
+    if n < 2:
+        raise ValueError("minimum cut needs at least 2 vertices")
+    reps = repetitions if repetitions is not None else ks_repetitions(n, success_prob)
+    streams = RngStreams(seed)
+    best_val = math.inf
+    best_side = None
+    mem.alloc("ks_matrix", n * n)
+    for rep in range(reps):
+        val, side = karger_stein_matrix(a, streams.aux(rep), mem)
+        if val < best_val:
+            best_val = val
+            best_side = side
+        if best_val == 0.0:
+            break  # disconnected: exact already
+    return best_val, best_side

@@ -1,0 +1,169 @@
+"""Communicators and collective operations for SPMD generator programs.
+
+Programs are written in mpi4py style but as Python generators: every
+collective is invoked with ``yield from`` and returns its result, e.g.::
+
+    def program(ctx):
+        parts = yield from ctx.comm.gather(local_part, root=0)
+        total = yield from ctx.comm.allreduce(x, op=operator.add)
+        return total
+
+A :class:`Communicator` is a per-processor view (local rank + size) onto a
+shared :class:`Group` of global processor ids.  ``split`` creates
+sub-communicators, which the minimum-cut algorithm uses both to assign
+trials to processor groups and to halve groups inside Recursive Contraction.
+
+Received payloads are shared objects, not copies: like MPI buffers on a
+shared simulator they must be treated as **read-only** by receivers (copy
+before mutating).  The engine charges transfer volume as if the data moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Group", "Communicator", "payload_words"]
+
+
+def payload_words(x: Any) -> int:
+    """Number of machine words a payload occupies on the wire.
+
+    numpy arrays count one word per element; containers sum their items;
+    ``None`` is free; scalars and small objects count one word.  Objects can
+    override via a ``__bsp_words__()`` method.
+    """
+    if x is None:
+        return 0
+    if isinstance(x, np.ndarray):
+        return int(x.size)
+    if hasattr(x, "__bsp_words__"):
+        return int(x.__bsp_words__())
+    if isinstance(x, (list, tuple)):
+        return sum(payload_words(item) for item in x)
+    if isinstance(x, dict):
+        return sum(1 + payload_words(vv) for vv in x.values())
+    return 1
+
+
+@dataclass(frozen=True)
+class Group:
+    """A shared processor group: engine-unique id + global member ranks."""
+
+    gid: int
+    members: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of member processors."""
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """One processor's pending collective request (engine-internal)."""
+
+    group: Group
+    kind: str
+    sender: int          # global rank of the issuing processor
+    local_rank: int
+    payload: Any = None
+    root: int = 0        # local rank of the root, where applicable
+    op: Callable[[Any, Any], Any] | None = None
+
+
+class Communicator:
+    """Per-processor view of a :class:`Group` with MPI-style collectives.
+
+    All methods are generator functions; call them with ``yield from``.
+    """
+
+    __slots__ = ("group", "rank", "_global_rank")
+
+    def __init__(self, group: Group, local_rank: int):
+        if not 0 <= local_rank < group.size:
+            raise ValueError(f"local rank {local_rank} out of range for {group}")
+        self.group = group
+        self.rank = local_rank
+        self._global_rank = group.members[local_rank]
+
+    @property
+    def size(self) -> int:
+        """Number of member processors of this communicator."""
+        return self.group.size
+
+    def _op(self, kind: str, payload: Any = None, root: int = 0,
+            op: Callable | None = None) -> CollectiveOp:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range for size-{self.size} comm")
+        return CollectiveOp(
+            group=self.group, kind=kind, sender=self._global_rank,
+            local_rank=self.rank, payload=payload, root=root, op=op,
+        )
+
+    # -- collectives (generator functions; use with `yield from`) ----------
+
+    def barrier(self):
+        """Synchronize the group."""
+        yield self._op("barrier")
+
+    def bcast(self, value: Any = None, root: int = 0):
+        """Root's ``value`` is returned at every member."""
+        result = yield self._op("bcast", value if self.rank == root else None, root)
+        return result
+
+    def gather(self, value: Any, root: int = 0):
+        """Returns the list of member values at the root, ``None`` elsewhere."""
+        result = yield self._op("gather", value, root)
+        return result
+
+    def allgather(self, value: Any):
+        """Returns the list of member values at every member."""
+        result = yield self._op("allgather", value)
+        return result
+
+    def scatter(self, values: Sequence[Any] | None = None, root: int = 0):
+        """Root provides one value per member; each member gets its own."""
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError("scatter root must provide one value per member")
+            payload = list(values)
+        else:
+            payload = None
+        result = yield self._op("scatter", payload, root)
+        return result
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
+        """Left-fold of member values with ``op`` at the root (local-rank order)."""
+        result = yield self._op("reduce", value, root, op)
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]):
+        """Reduce then broadcast: every member gets the folded value."""
+        result = yield self._op("allreduce", value, 0, op)
+        return result
+
+    def alltoall(self, values: Sequence[Any]):
+        """Member i's ``values[j]`` is delivered to member j's result[i]."""
+        if len(values) != self.size:
+            raise ValueError("alltoall needs exactly one value per member")
+        result = yield self._op("alltoall", list(values))
+        return result
+
+    def split(self, color: int, key: int | None = None):
+        """Partition the group by ``color`` into new communicators.
+
+        Members of equal color form a new group, ordered by ``(key, old
+        local rank)`` (``key`` defaults to the old local rank, preserving
+        relative order as in ``MPI_Comm_split``).  Returns this member's new
+        :class:`Communicator`.
+        """
+        result = yield self._op(
+            "split", (int(color), self.rank if key is None else int(key))
+        )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(gid={self.group.gid}, rank={self.rank}/{self.size})"

@@ -1,0 +1,92 @@
+"""Per-processor BSP cost counters and run-level aggregation.
+
+The paper's cost model (§2.1) tracks, per superstep, the maximum local
+computation, the maximum number of unit-size messages sent or received, and
+the maximum number of cache misses over all processors; an algorithm's cost
+is the sum over supersteps.  We track the per-processor cumulative totals
+(the quantities the artifact actually measures per rank — §5 "we always
+choose the maximum among all participating processors") plus, per collective
+synchronization, the *imbalance wait*: how far each participant lagged the
+slowest one.  Wait time plus transfer volume is what the paper reports as
+"time spent in MPI".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcCounters", "CountersReport"]
+
+
+@dataclass
+class ProcCounters:
+    """Cumulative cost counters of one virtual processor."""
+
+    ops: float = 0.0          # local computation (unit operations)
+    words_sent: float = 0.0   # words sent over the network
+    words_recv: float = 0.0   # words received over the network
+    misses: float = 0.0       # cache misses (analytic CO charges)
+    supersteps: int = 0       # synchronizations this processor took part in
+    wait_ops: float = 0.0     # imbalance: ops the proc idled at sync points
+
+    #: ops snapshot taken at this processor's last synchronization; used by
+    #: the engine to compute the imbalance wait of the next collective.
+    ops_at_last_sync: float = field(default=0.0, repr=False)
+
+    def charge(self, ops: float = 0.0, misses: float = 0.0) -> None:
+        """Charge local computation and cache misses."""
+        if ops < 0 or misses < 0:
+            raise ValueError("cost charges must be non-negative")
+        self.ops += ops
+        self.misses += misses
+
+    def charge_comm(self, sent: float, recv: float, misses: float = 0.0) -> None:
+        """Charge one collective's transfer volume at this processor."""
+        if sent < 0 or recv < 0 or misses < 0:
+            raise ValueError("cost charges must be non-negative")
+        self.words_sent += sent
+        self.words_recv += recv
+        self.misses += misses
+
+    @property
+    def volume(self) -> float:
+        """BSP communication volume: max of sent and received words."""
+        return max(self.words_sent, self.words_recv)
+
+
+@dataclass(frozen=True)
+class CountersReport:
+    """Aggregated counters of a finished BSP run.
+
+    Every field follows the artifact's methodology: the maximum over all
+    participating processors of the per-rank total.
+    """
+
+    p: int
+    computation: float      # max_i ops_i
+    volume: float           # max_i max(sent_i, recv_i)
+    supersteps: int         # max_i supersteps_i
+    misses: float           # max_i misses_i
+    wait: float             # max_i wait_ops_i (sync imbalance, in op units)
+    total_ops: float        # sum_i ops_i (the "completed instructions" metric)
+    total_volume: float     # sum_i sent_i (global traffic)
+
+    @classmethod
+    def from_procs(cls, procs: list[ProcCounters]) -> "CountersReport":
+        """Aggregate per-processor counters (max/sum per the artifact)."""
+        if not procs:
+            raise ValueError("need at least one processor")
+        return cls(
+            p=len(procs),
+            computation=max(c.ops for c in procs),
+            volume=max(c.volume for c in procs),
+            supersteps=max(c.supersteps for c in procs),
+            misses=max(c.misses for c in procs),
+            wait=max(c.wait_ops for c in procs),
+            total_ops=sum(c.ops for c in procs),
+            total_volume=sum(c.words_sent for c in procs),
+        )
+
+    def instructions_per_miss(self) -> float:
+        """IPM of the bottleneck processor (Figs 4c, 8)."""
+        return float("inf") if self.misses == 0 else self.computation / self.misses

@@ -1,0 +1,429 @@
+"""The BSP superstep engine.
+
+Runs ``p`` virtual processors, each executing the same generator program
+(SPMD).  A processor runs local code until it yields a
+:class:`~repro.bsp.comm.CollectiveOp`; once every live member of the
+operation's group has yielded a matching request, the engine executes the
+collective, charges communication costs and synchronization imbalance, and
+resumes the members with their results.  Sub-communicators created by
+``split`` progress independently — exactly the behaviour of processor groups
+running minimum-cut trials concurrently.
+
+Execution is fully deterministic: processors are scheduled in global-rank
+order, complete collectives are executed in group-id order, and all
+randomness flows from one root seed through per-rank Philox streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.bsp.comm import CollectiveOp, Communicator, Group, payload_words
+from repro.bsp.counters import CountersReport, ProcCounters
+from repro.bsp.errors import CollectiveMismatchError, DeadlockError
+from repro.bsp.machine import MachineModel, TimeEstimate
+from repro.cache.model import CacheParams
+from repro.rng.streams import RngStreams
+
+__all__ = ["Context", "Engine", "RunResult", "CollectiveEvent", "run_spmd"]
+
+
+class Context:
+    """Per-processor execution context handed to SPMD programs.
+
+    Attributes
+    ----------
+    rank:
+        Global processor id, ``0..p-1``.
+    p:
+        Total processor count of the run.
+    comm:
+        World communicator (use ``split`` for groups).
+    rng:
+        This processor's independent Philox stream.
+    counters:
+        This processor's cost counters.
+    cache:
+        Cache geometry used for analytic CO charges.
+    """
+
+    __slots__ = ("rank", "p", "comm", "rng", "counters", "cache")
+
+    def __init__(self, rank: int, p: int, comm: Communicator,
+                 rng: np.random.Generator, counters: ProcCounters,
+                 cache: CacheParams):
+        self.rank = rank
+        self.p = p
+        self.comm = comm
+        self.rng = rng
+        self.counters = counters
+        self.cache = cache
+
+    # -- cost charging helpers ---------------------------------------------
+
+    def charge(self, ops: float = 0.0, misses: float = 0.0) -> None:
+        """Charge raw local computation / cache misses."""
+        self.counters.charge(ops=ops, misses=misses)
+
+    def charge_scan(self, elems: float, words_per_elem: int = 1) -> None:
+        """Streaming pass over ``elems`` elements: linear ops, scan misses."""
+        self.counters.charge(
+            ops=elems, misses=self.cache.scan(elems * words_per_elem)
+        )
+
+    def charge_sort(self, elems: float, words_per_elem: int = 1) -> None:
+        """Comparison sort of ``elems`` elements: n log n ops, CO sort misses."""
+        if elems <= 1:
+            return
+        self.counters.charge(
+            ops=elems * max(1.0, np.log2(elems)),
+            misses=self.cache.sort(elems * words_per_elem),
+        )
+
+    def charge_random(self, accesses: float, working_set: float | None = None) -> None:
+        """``accesses`` random touches into a working set of given size."""
+        self.counters.charge(
+            ops=accesses, misses=self.cache.random_access(accesses, working_set)
+        )
+
+
+@dataclass(frozen=True)
+class CollectiveEvent:
+    """One executed collective, as recorded by a tracing engine."""
+
+    kind: str
+    gid: int
+    participants: tuple[int, ...]   # global ranks, in local-rank order
+    words: int                      # total payload words moved
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one SPMD run: per-rank return values + aggregated costs."""
+
+    values: list
+    report: CountersReport
+    time: TimeEstimate
+    trace: list[CollectiveEvent] | None = None
+
+    @property
+    def root_value(self) -> Any:
+        """Return value of rank 0 (where algorithms deposit their result)."""
+        return self.values[0]
+
+    def trace_kinds(self) -> list[str]:
+        """Sequence of executed collective kinds (tracing engines only)."""
+        if self.trace is None:
+            raise ValueError("run without trace=True has no event log")
+        return [ev.kind for ev in self.trace]
+
+
+_DONE = object()
+
+
+class Engine:
+    """Deterministic BSP simulator; see module docstring."""
+
+    def __init__(self, cache: CacheParams | None = None,
+                 machine: MachineModel | None = None,
+                 trace: bool = False):
+        self.cache = cache or CacheParams()
+        self.machine = machine or MachineModel()
+        self.trace = trace
+        self._next_gid = 0
+        self._events: list[CollectiveEvent] | None = None
+
+    def _new_group(self, members: tuple[int, ...]) -> Group:
+        self._next_gid += 1
+        return Group(self._next_gid, members)
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[..., Generator],
+        p: int,
+        *,
+        seed: int = 0,
+        args: Iterable[Any] = (),
+        kwargs: dict | None = None,
+    ) -> RunResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on ``p`` processors."""
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        kwargs = kwargs or {}
+        self._events = [] if self.trace else None
+        streams = RngStreams(seed)
+        counters = [ProcCounters() for _ in range(p)]
+        world = self._new_group(tuple(range(p)))
+        ctxs = [
+            Context(
+                rank=r, p=p, comm=Communicator(world, r),
+                rng=streams.for_rank(r), counters=counters[r], cache=self.cache,
+            )
+            for r in range(p)
+        ]
+        gens: list[Generator | None] = [program(ctx, *args, **kwargs) for ctx in ctxs]
+        values: list[Any] = [None] * p
+        inbox: list[Any] = [None] * p          # value to send into the generator
+        pending: dict[int, CollectiveOp | None] = {}  # rank -> blocked request
+        runnable: list[int] = list(range(p))
+
+        while True:
+            # Phase 1: advance runnable processors until they block or finish.
+            for r in runnable:
+                gen = gens[r]
+                assert gen is not None
+                try:
+                    op = gen.send(inbox[r])
+                except StopIteration as stop:
+                    values[r] = stop.value
+                    gens[r] = None
+                    pending[r] = None
+                    continue
+                if not isinstance(op, CollectiveOp):
+                    raise TypeError(
+                        f"rank {r} yielded {type(op).__name__}; programs may only "
+                        "yield collective operations (use `yield from comm.<op>`)"
+                    )
+                if op.sender != r:
+                    raise CollectiveMismatchError(
+                        f"rank {r} issued a collective through rank {op.sender}'s "
+                        "communicator view"
+                    )
+                pending[r] = op
+                inbox[r] = None
+            runnable = []
+
+            if all(g is None for g in gens):
+                break
+
+            # Phase 2: find groups whose live members all posted a request.
+            by_group: dict[int, list[CollectiveOp]] = {}
+            for r, op in pending.items():
+                if op is not None:
+                    by_group.setdefault(op.group.gid, []).append(op)
+            executed_any = False
+            for gid in sorted(by_group):
+                ops = by_group[gid]
+                group = ops[0].group
+                waiting = {op.sender for op in ops}
+                missing = [m for m in group.members if m not in waiting]
+                if any(gens[m] is not None for m in missing):
+                    continue  # someone is still computing; not ready yet
+                if missing:
+                    dead = [m for m in missing if gens[m] is None]
+                    raise DeadlockError(
+                        f"collective {ops[0].kind!r} on group {gid} can never "
+                        f"complete: member(s) {dead} already terminated while "
+                        f"{sorted(waiting)} are waiting"
+                    )
+                kinds = {op.kind for op in ops}
+                if len(kinds) != 1:
+                    detail = {op.sender: op.kind for op in ops}
+                    raise CollectiveMismatchError(
+                        f"group {gid} members issued different collectives: {detail}"
+                    )
+                self._execute(group, ops, counters, ctxs, inbox)
+                for op in ops:
+                    pending[op.sender] = None
+                    runnable.append(op.sender)
+                executed_any = True
+            runnable.sort()
+
+            if not executed_any:
+                blocked = {
+                    r: f"{op.kind} on group {op.group.gid}"
+                    for r, op in pending.items()
+                    if op is not None
+                }
+                if not blocked:
+                    break  # everything finished
+                raise DeadlockError(
+                    f"no collective can complete; blocked processors: {blocked}; "
+                    f"terminated: {[r for r in range(p) if gens[r] is None]}"
+                )
+
+        report = CountersReport.from_procs(counters)
+        return RunResult(values=values, report=report,
+                         time=self.machine.predict(report),
+                         trace=self._events)
+
+    # -- collective execution ------------------------------------------------
+
+    def _execute(
+        self,
+        group: Group,
+        ops: list[CollectiveOp],
+        counters: list[ProcCounters],
+        ctxs: list[Context],
+        inbox: list[Any],
+    ) -> None:
+        ops.sort(key=lambda o: o.local_rank)
+        kind = ops[0].kind
+        members = group.members
+
+        # Synchronization accounting: supersteps + imbalance wait.
+        since_sync = [
+            counters[m].ops - counters[m].ops_at_last_sync for m in members
+        ]
+        slowest = max(since_sync)
+        for m, c in zip(members, since_sync):
+            counters[m].wait_ops += slowest - c
+            counters[m].ops_at_last_sync = counters[m].ops
+            counters[m].supersteps += 1
+
+        if kind in ("bcast", "gather", "scatter", "reduce"):
+            roots = {op.root for op in ops}
+            if len(roots) != 1:
+                raise CollectiveMismatchError(
+                    f"group {group.gid} members disagree on the {kind} root: {roots}"
+                )
+        handler = getattr(self, f"_exec_{kind}", None)
+        if handler is None:
+            raise CollectiveMismatchError(f"unknown collective kind {kind!r}")
+        results = handler(group, ops, counters, ctxs)
+        if self._events is not None:
+            self._events.append(CollectiveEvent(
+                kind=kind, gid=group.gid, participants=group.members,
+                words=sum(payload_words(op.payload) for op in ops),
+            ))
+        for op, res in zip(ops, results):
+            inbox[op.sender] = res
+
+    def _charge(self, counters: list[ProcCounters], member: int,
+                sent: float, recv: float) -> None:
+        moved = sent + recv
+        counters[member].charge_comm(
+            sent, recv, misses=self.cache.scan(moved) if moved else 0.0
+        )
+
+    def _exec_barrier(self, group, ops, counters, ctxs):
+        for op in ops:
+            self._charge(counters, op.sender, 1, 1)
+        return [None] * len(ops)
+
+    def _exec_bcast(self, group, ops, counters, ctxs):
+        value = ops[ops[0].root].payload  # ops are sorted by local rank
+        k = payload_words(value)
+        for op in ops:
+            if op.local_rank == op.root:
+                self._charge(counters, op.sender, k, 0)
+            else:
+                self._charge(counters, op.sender, 0, k)
+        return [value] * len(ops)
+
+    def _exec_gather(self, group, ops, counters, ctxs):
+        gathered = [op.payload for op in ops]
+        total = sum(payload_words(v) for v in gathered)
+        results = []
+        for op in ops:
+            if op.local_rank == op.root:
+                self._charge(counters, op.sender, 0, total)
+                results.append(gathered)
+            else:
+                self._charge(counters, op.sender, payload_words(op.payload), 0)
+                results.append(None)
+        return results
+
+    def _exec_allgather(self, group, ops, counters, ctxs):
+        gathered = [op.payload for op in ops]
+        total = sum(payload_words(v) for v in gathered)
+        for op in ops:
+            self._charge(counters, op.sender, payload_words(op.payload), total)
+        return [gathered] * len(ops)
+
+    def _exec_scatter(self, group, ops, counters, ctxs):
+        values = ops[ops[0].root].payload  # ops are sorted by local rank
+        results = []
+        for op in ops:
+            part = values[op.local_rank]
+            if op.local_rank == op.root:
+                self._charge(counters, op.sender, sum(payload_words(v) for v in values), 0)
+            else:
+                self._charge(counters, op.sender, 0, payload_words(part))
+            results.append(part)
+        return results
+
+    def _reduce_values(self, ops, counters):
+        fold = ops[0].op
+        assert fold is not None
+        acc = ops[0].payload
+        for op in ops[1:]:
+            acc = fold(acc, op.payload)
+        # Tree reduction: every proc sends/combines O(k) words.
+        for op in ops:
+            k = payload_words(op.payload)
+            counters[op.sender].charge(ops=float(k))
+        return acc
+
+    def _exec_reduce(self, group, ops, counters, ctxs):
+        acc = self._reduce_values(ops, counters)
+        k = payload_words(acc)
+        results = []
+        for op in ops:
+            if op.local_rank == op.root:
+                self._charge(counters, op.sender, 0, k)
+                results.append(acc)
+            else:
+                self._charge(counters, op.sender, payload_words(op.payload), 0)
+                results.append(None)
+        return results
+
+    def _exec_allreduce(self, group, ops, counters, ctxs):
+        acc = self._reduce_values(ops, counters)
+        k = payload_words(acc)
+        for op in ops:
+            self._charge(counters, op.sender, payload_words(op.payload), k)
+        return [acc] * len(ops)
+
+    def _exec_alltoall(self, group, ops, counters, ctxs):
+        size = group.size
+        for op in ops:
+            if len(op.payload) != size:
+                raise CollectiveMismatchError(
+                    f"alltoall payload of rank {op.sender} has {len(op.payload)} "
+                    f"items, expected {size}"
+                )
+        results = []
+        for i, op in enumerate(ops):
+            received = [ops[j].payload[i] for j in range(size)]
+            sent = sum(payload_words(v) for v in op.payload)
+            recv = sum(payload_words(v) for v in received)
+            self._charge(counters, op.sender, sent, recv)
+            results.append(received)
+        return results
+
+    def _exec_split(self, group, ops, counters, ctxs):
+        # payload = (color, key); new groups ordered by color, then (key, rank).
+        by_color: dict[int, list[CollectiveOp]] = {}
+        for op in ops:
+            by_color.setdefault(op.payload[0], []).append(op)
+        new_comm: dict[int, Communicator] = {}
+        for color in sorted(by_color):
+            cohort = sorted(by_color[color], key=lambda o: (o.payload[1], o.local_rank))
+            new_group = self._new_group(tuple(o.sender for o in cohort))
+            for local, op in enumerate(cohort):
+                new_comm[op.sender] = Communicator(new_group, local)
+        for op in ops:
+            self._charge(counters, op.sender, 1, 1)
+        return [new_comm[op.sender] for op in ops]
+
+
+def run_spmd(
+    program: Callable[..., Generator],
+    p: int,
+    *,
+    seed: int = 0,
+    args: Iterable[Any] = (),
+    kwargs: dict | None = None,
+    cache: CacheParams | None = None,
+    machine: MachineModel | None = None,
+) -> RunResult:
+    """One-shot convenience wrapper: build an :class:`Engine` and run."""
+    return Engine(cache=cache, machine=machine).run(
+        program, p, seed=seed, args=args, kwargs=kwargs
+    )

@@ -1,0 +1,21 @@
+"""BSP engine error types with deadlock diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["BSPError", "DeadlockError", "CollectiveMismatchError"]
+
+
+class BSPError(RuntimeError):
+    """Base class for BSP engine failures."""
+
+
+class DeadlockError(BSPError):
+    """No processor can make progress and no collective is complete.
+
+    Raised with a per-processor state dump: which collective each blocked
+    processor is waiting on, and which processors already terminated.
+    """
+
+
+class CollectiveMismatchError(BSPError):
+    """Members of one communicator issued different collective operations."""

@@ -1,0 +1,125 @@
+"""Machine cost model: counters -> predicted execution / MPI time.
+
+Implements the paper's §5.3 performance model: predicted time is the BSP
+computation time, plus the BSP communication volume multiplied by a per-word
+cost and a ``log p`` factor accounting for the MPI collective implementation
+(Hoefler et al. [19]), plus a per-superstep latency, plus a constant.
+Default constants are loosely calibrated to a Piz Daint-class machine
+(3.3 GHz Broadwell, Cray Aries) but any run can re-fit them with
+:func:`fit_model`, exactly as the authors fitted their model to
+measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bsp.counters import CountersReport
+
+__all__ = ["MachineModel", "TimeEstimate", "fit_model"]
+
+
+@dataclass(frozen=True)
+class TimeEstimate:
+    """Predicted wall-clock decomposition of one run (seconds)."""
+
+    app_s: float   # local computation (the "Application" bar)
+    mpi_s: float   # sync imbalance + transfer + latency (the "MPI" bar)
+
+    @property
+    def total_s(self) -> float:
+        """Total predicted wall-clock seconds (app + MPI)."""
+        return self.app_s + self.mpi_s
+
+    @property
+    def mpi_fraction(self) -> float:
+        """T_MPI / T as plotted in Figs 1b and 6 (0 for an empty run)."""
+        return self.mpi_s / self.total_s if self.total_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Constant factors converting BSP counters into seconds.
+
+    Parameters
+    ----------
+    op_s:
+        Seconds per unit of local computation (one "operation").
+    g_s:
+        Seconds per word of communication volume (per-word bandwidth cost).
+    L_s:
+        Seconds per superstep (collective latency at the given scale).
+    miss_s:
+        Additional seconds per LLC cache miss.
+    cores_per_node:
+        Piz Daint nodes expose 36 cores; the paper observes MPI-time plateaus
+        governed by node count, which the latency term models via
+        ``log2(nodes)`` scaling inside :meth:`predict`.
+    """
+
+    op_s: float = 1.2e-9
+    g_s: float = 2.4e-9
+    L_s: float = 1.5e-5
+    miss_s: float = 3.0e-8
+    overhead_s: float = 1.0e-4
+    cores_per_node: int = 36
+
+    def predict(self, counters: CountersReport) -> TimeEstimate:
+        """Predicted execution-time split for a finished run's counters."""
+        p = max(counters.p, 1)
+        logp = max(1.0, math.log2(p))
+        app = counters.computation * self.op_s + counters.misses * self.miss_s
+        mpi = (
+            counters.wait * self.op_s
+            + counters.volume * self.g_s * logp
+            + counters.supersteps * self.L_s * logp
+            + self.overhead_s
+        )
+        return TimeEstimate(app_s=app, mpi_s=mpi)
+
+
+def fit_model(
+    reports: list[CountersReport],
+    measured_s: list[float],
+    *,
+    base: MachineModel | None = None,
+) -> MachineModel:
+    """Re-fit the per-unit constants to measured total times (§5.3).
+
+    Non-negative least squares over the model terms (computation, cache
+    misses, volume x log p, supersteps x log p) plus a constant.
+    ``measured_s`` are total execution times of the corresponding runs.
+    """
+    if len(reports) != len(measured_s) or not reports:
+        raise ValueError("need one measurement per report")
+    base = base or MachineModel()
+    a = np.array(
+        [
+            [
+                r.computation + 0.0,
+                r.misses + 0.0,
+                r.volume * max(1.0, math.log2(max(r.p, 2))),
+                r.supersteps * max(1.0, math.log2(max(r.p, 2))),
+                1.0,
+            ]
+            for r in reports
+        ]
+    )
+    b = np.asarray(measured_s, dtype=np.float64)
+    from scipy.optimize import nnls
+
+    coef, _ = nnls(a, b)
+    # Keep fitted zeros as zeros: with collinear counters (e.g. misses
+    # proportional to computation) nnls assigns the shared effect to one
+    # column, and substituting base constants back would double-count it.
+    return MachineModel(
+        op_s=float(coef[0]),
+        miss_s=float(coef[1]),
+        g_s=float(coef[2]),
+        L_s=float(coef[3]),
+        overhead_s=float(coef[4]),
+        cores_per_node=base.cores_per_node,
+    )

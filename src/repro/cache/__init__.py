@@ -1,0 +1,32 @@
+"""Cache-oblivious cost modeling and LRU cache simulation.
+
+The paper analyzes cache misses in the Cache-Oblivious model (§2.1): one
+fully-associative cache of M words organized in blocks of B words, optimal
+replacement, tall cache M = Omega(B^2).  LRU matches optimal replacement up
+to constant factors, so we provide:
+
+* :mod:`repro.cache.model` — closed-form CO charges (scan, sort, permute,
+  matrix ops) used for analytic accounting inside the BSP engine, and
+* :mod:`repro.cache.lru` / :mod:`repro.cache.traced` — a block-level LRU
+  simulator plus an instrumentation interface that the sequential baselines
+  feed with their real access patterns (stands in for the PAPI LLC hardware
+  counters of §5).
+"""
+
+from repro.cache.model import CacheParams
+from repro.cache.lru import LRUCache
+from repro.cache.traced import (
+    MemoryTracker,
+    NullTracker,
+    LRUTracker,
+    AnalyticTracker,
+)
+
+__all__ = [
+    "CacheParams",
+    "LRUCache",
+    "MemoryTracker",
+    "NullTracker",
+    "LRUTracker",
+    "AnalyticTracker",
+]

@@ -1,0 +1,155 @@
+"""Artifact-style command-line interface.
+
+The published artifact ships three executables — ``parallel_cc``,
+``approx_cut`` and ``square_root`` (the exact minimum cut) — that read an
+edge-list file and print a profiling CSV line per execution (Listing 1 of
+the artifact appendix: input, seed, vertex/edge counts, execution and MPI
+time, parallelism, algorithm tag, and the result).  This module mirrors
+them as subcommands on the simulated machine, plus a ``generate``
+subcommand standing in for the artifact's input generators.
+
+Usage::
+
+    python -m repro.cli generate --family er --n 1000 --degree 8 \
+        --seed 1 --out g.txt
+    python -m repro.cli parallel_cc g.txt --procs 8 --seed 1
+    python -m repro.cli approx_cut g.txt --procs 8 --seed 1
+    python -m repro.cli square_root g.txt --procs 8 --seed 1 --trial-scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import approx_minimum_cut, connected_components, minimum_cut
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    read_edgelist,
+    rmat,
+    watts_strogatz,
+    write_edgelist,
+)
+from repro.rng import philox_stream
+
+__all__ = ["main"]
+
+
+def _profile_line(path, seed, p, g, time, tag, result) -> str:
+    """Artifact Listing-1-style CSV record."""
+    return ",".join(
+        str(x)
+        for x in (
+            path, seed, p, g.n, g.m,
+            f"{time.total_s:.6f}", f"{time.mpi_s:.6f}", tag, result,
+        )
+    )
+
+
+def _cmd_parallel_cc(args) -> int:
+    g = read_edgelist(args.input)
+    res = connected_components(g, p=args.procs, seed=args.seed)
+    print(_profile_line(args.input, args.seed, args.procs, g,
+                        res.time, "cc", res.n_components))
+    return 0
+
+
+def _cmd_approx_cut(args) -> int:
+    g = read_edgelist(args.input)
+    res = approx_minimum_cut(
+        g, p=args.procs, seed=args.seed, pipelined=args.pipelined
+    )
+    print(_profile_line(args.input, args.seed, args.procs, g,
+                        res.time, "approx_cut", f"{res.estimate:g}"))
+    return 0
+
+
+def _cmd_square_root(args) -> int:
+    g = read_edgelist(args.input)
+    res = minimum_cut(
+        g, p=args.procs, seed=args.seed,
+        success_prob=args.success_prob, trial_scale=args.trial_scale,
+        trials=args.trials,
+    )
+    print(_profile_line(args.input, args.seed, args.procs, g,
+                        res.time, "square_root", f"{res.value:g}"))
+    return 0
+
+
+_FAMILIES = ("er", "ws", "ba", "rmat")
+
+
+def _cmd_generate(args) -> int:
+    rng = philox_stream(args.seed)
+    n = args.n
+    m = args.m if args.m is not None else n * args.degree // 2
+    if args.family == "er":
+        g = erdos_renyi(n, m, rng, weighted=args.weighted)
+    elif args.family == "ws":
+        k = args.degree if args.degree % 2 == 0 else args.degree + 1
+        g = watts_strogatz(n, k, rng)
+    elif args.family == "ba":
+        g = barabasi_albert(n, max(1, args.degree // 2), rng)
+    else:
+        g = rmat(n, m, rng)
+    write_edgelist(g, args.out)
+    print(f"wrote {args.out}: n={g.n} m={g.m}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser with the four artifact-style subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("input", help="edge-list file (artifact format)")
+        sp.add_argument("--procs", "-p", type=int, default=4,
+                        help="virtual processors (default 4)")
+        sp.add_argument("--seed", type=int, default=0, help="root PRNG seed")
+
+    sp = sub.add_parser("parallel_cc", help="connected components (§3.2)")
+    common(sp)
+    sp.set_defaults(func=_cmd_parallel_cc)
+
+    sp = sub.add_parser("approx_cut", help="approximate minimum cut (§3.3)")
+    common(sp)
+    sp.add_argument("--pipelined", action="store_true",
+                    help="single-CC pipelined schedule (O(1) supersteps)")
+    sp.set_defaults(func=_cmd_approx_cut)
+
+    sp = sub.add_parser("square_root", help="exact minimum cut (§4)")
+    common(sp)
+    sp.add_argument("--success-prob", type=float, default=0.9,
+                    help="overall success probability (artifact: 0.9)")
+    sp.add_argument("--trials", type=int, default=None,
+                    help="override the trial count")
+    sp.add_argument("--trial-scale", type=float, default=1.0,
+                    help="scale the Theta((n^2/m) log^2 n) trial count")
+    sp.set_defaults(func=_cmd_square_root)
+
+    sp = sub.add_parser("generate", help="generate a benchmark input graph")
+    sp.add_argument("--family", choices=_FAMILIES, required=True)
+    sp.add_argument("--n", type=int, required=True)
+    sp.add_argument("--m", type=int, default=None, help="edge count")
+    sp.add_argument("--degree", type=int, default=8,
+                    help="average degree when --m is omitted")
+    sp.add_argument("--weighted", action="store_true")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--out", required=True)
+    sp.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Prefix Selection and Bulk Edge Contraction (§2.4 step 2-3, §4.1).
+
+*Prefix Selection* finds the longest prefix of a randomly permuted edge
+sample whose contraction leaves at least ``t`` connected components
+(incremental union-find at the root, exactly where the paper computes it).
+
+*Sparse bulk edge contraction* (distributed edge array): relabel locally,
+globally sort edges by endpoints, combine parallel edges locally, then fix
+the processor boundaries with one all-gather — the paper's observation is
+that after the sort every parallel class lies in one processor or adjacent
+ones, so one first-edge exchange suffices (Lemma 4.2: O(1) supersteps,
+O(m/p) volume).
+
+*Dense bulk edge contraction* (distributed adjacency matrix): combine the
+columns locally, transpose the distributed matrix (one alltoall), combine
+again, zero the diagonal (Lemma 4.1: O(1) supersteps, O(n^2/p) volume).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsp.combine import combine_by_key
+
+__all__ = [
+    "prefix_select",
+    "combine_sorted_run",
+    "sparse_bulk_contract",
+    "row_block",
+    "dense_bulk_contract",
+]
+
+
+def prefix_select(
+    n: int, su: np.ndarray, sv: np.ndarray, t: int
+) -> tuple[np.ndarray, int]:
+    """Contract the longest prefix leaving at least ``t`` components.
+
+    ``su, sv`` is the randomly permuted edge sample in the current label
+    space ``0..n-1``.  Returns ``(labels, n_new)`` with dense labels for the
+    resulting contraction; ``n_new >= t`` always, with equality whenever the
+    sample suffices to reach ``t``.
+
+    Incremental union-find (path halving + union by size), stopping as soon
+    as the component count would drop below ``t``.
+    """
+    if t < 1:
+        raise ValueError(f"target component count must be >= 1, got {t}")
+    parent = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    count = n
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in zip(su.tolist(), sv.tolist()):
+        if count <= t:
+            break
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            continue
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        parent[rb] = ra
+        size[ra] += size[rb]
+        count -= 1
+
+    roots = np.array([find(x) for x in range(n)], dtype=np.int64)
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64), int(uniq.size)
+
+
+def combine_sorted_run(
+    keys: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine equal consecutive keys of a sorted run, summing weights."""
+    if keys.size == 0:
+        return keys, w
+    starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
+    return keys[starts], np.add.reduceat(w, starts)
+
+
+def sparse_bulk_contract(ctx, comm, u, v, w, g_map, n_new):
+    """Generator: sparse bulk edge contraction of a distributed edge array.
+
+    ``u, v, w`` is this processor's slice; ``g_map`` maps the current label
+    space onto ``0..n_new-1``.  Returns the processor's slice ``(u, v, w)``
+    of the contracted graph with all parallel edges combined.
+    """
+    # (1) Local rename + loop removal; encode endpoint pairs as one key.
+    u = g_map[u]
+    v = g_map[v]
+    keep = u != v
+    u, v, w = u[keep], v[keep], w[keep]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keys = lo * np.int64(n_new) + hi
+    ctx.charge_scan(keep.size, words_per_elem=3)
+    ctx.charge_random(keep.size, working_set=len(g_map))
+
+    # (2-5) Global sort + local combine + boundary fix-up: this is exactly
+    # the generic combine-by-key with weight addition (§4.1 remark).
+    keys, w = yield from combine_by_key(ctx, comm, keys, w)
+
+    u = keys // np.int64(n_new)
+    v = keys % np.int64(n_new)
+    return u.astype(np.int64), v.astype(np.int64), w
+
+
+def row_block(rank: int, size: int, n: int) -> tuple[int, int]:
+    """Contiguous row range ``[lo, hi)`` owned by ``rank`` of ``size`` procs."""
+    lo = rank * n // size
+    hi = (rank + 1) * n // size
+    return lo, hi
+
+
+def dense_bulk_contract(ctx, comm, rows, n_old, g_map, n_new):
+    """Generator: dense bulk edge contraction of a distributed matrix.
+
+    ``rows`` is this processor's contiguous row block of the symmetric
+    ``n_old x n_old`` weight matrix (block given by :func:`row_block`).
+    Returns the processor's row block of the contracted ``n_new x n_new``
+    matrix with a zero diagonal.
+    """
+    p = comm.size
+    my_rows = rows.shape[0]
+
+    # (1) Combine columns locally: rows x n_old -> rows x n_new.
+    half = np.zeros((my_rows, n_new), dtype=np.float64)
+    np.add.at(half.T, g_map, rows.T)
+    ctx.charge(ops=float(my_rows) * n_old,
+               misses=ctx.cache.matrix_scan(my_rows, n_old))
+
+    # (2) Distributed transpose of `half` (n_old x n_new, row blocks) into
+    #     (n_new x n_old, row blocks): one alltoall of sub-blocks.
+    parcels = []
+    for j in range(p):
+        jlo, jhi = row_block(j, p, n_new)
+        parcels.append(np.ascontiguousarray(half[:, jlo:jhi].T))
+    received = yield from comm.alltoall(parcels)
+    lo, hi = row_block(comm.rank, p, n_new)
+    transposed = np.zeros((hi - lo, n_old), dtype=np.float64)
+    col = 0
+    for j in range(p):
+        block = received[j]
+        transposed[:, col:col + block.shape[1]] = block
+        col += block.shape[1]
+    assert col == n_old
+    ctx.charge(ops=float(hi - lo) * n_old,
+               misses=ctx.cache.transpose(max(hi - lo, n_old)))
+
+    # (3) Combine the second dimension and zero the diagonal.
+    out = np.zeros((hi - lo, n_new), dtype=np.float64)
+    np.add.at(out.T, g_map, transposed.T)
+    for r in range(lo, hi):
+        out[r - lo, r] = 0.0
+    ctx.charge(ops=float(hi - lo) * n_old,
+               misses=ctx.cache.matrix_scan(hi - lo, n_old))
+    return out

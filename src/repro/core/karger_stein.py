@@ -1,0 +1,267 @@
+"""Sequential Karger–Stein recursive contraction on adjacency matrices.
+
+This is the role played in the paper by the cache-oblivious Karger–Stein
+implementation of Geissmann & Gianinazzi [13]: the sequential "KS" baseline
+of §5.3 *and* the leaf of the parallel Recursive Step (a single processor is
+left with a full copy of the contracted matrix, §4.3).
+
+Random contraction to ``t`` vertices is performed by Iterated Sampling on
+the matrix: sample a batch of entries proportionally to weight, contract the
+longest prefix that leaves at least ``t`` components (union-find), repeat.
+Matrix contraction streams rows and columns, giving the O(n^2 log^3 n / B)
+cache behaviour of [13] rather than the pointer-chasing of edge-by-edge
+contraction.
+
+All routines optionally record their memory behaviour into a
+:class:`~repro.cache.traced.MemoryTracker` for the sequential cache studies
+(Figs 8a, 9).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cache.traced import MemoryTracker, NullTracker
+from repro.core.contraction import prefix_select
+from repro.graph.contract import components_from_edges
+
+__all__ = [
+    "brute_force_matrix",
+    "brute_force_matrix_all",
+    "random_contract_matrix",
+    "karger_stein_matrix",
+    "karger_stein_matrix_all",
+    "canonical_cut_key",
+    "KS_BASE_SIZE",
+]
+
+
+def canonical_cut_key(side: np.ndarray) -> bytes:
+    """Canonical hashable key of a cut: a side and its complement are the
+    same cut, so normalize to the side *not* containing vertex 0."""
+    side = np.asarray(side, dtype=bool)
+    if side[0]:
+        side = ~side
+    return np.packbits(side).tobytes()
+
+#: Below this size the recursion bottoms out in exhaustive enumeration.
+#: The recursion has Theta(n^2) leaves, so the base case is vectorized: one
+#: matmul evaluates all 2^(base-1) cuts at once.
+KS_BASE_SIZE = 8
+
+#: Batch-size exponent of the matrix iterated sampling: s = k^(1+sigma).
+_MATRIX_SIGMA = 0.3
+
+#: Cached enumeration tables: n -> (2^(n-1)-1, n) float matrix of cut sides
+#: (vertex 0 fixed outside the cut, empty cut excluded).
+_SIDE_TABLES: dict[int, np.ndarray] = {}
+
+
+def _side_table(n: int) -> np.ndarray:
+    table = _SIDE_TABLES.get(n)
+    if table is None:
+        masks = np.arange(1, 1 << (n - 1), dtype=np.uint32)
+        bits = (masks[:, None] >> np.arange(n - 1, dtype=np.uint32)) & 1
+        table = np.concatenate(
+            [np.zeros((masks.size, 1)), bits.astype(np.float64)], axis=1
+        )
+        _SIDE_TABLES[n] = table
+    return table
+
+
+def brute_force_matrix(a: np.ndarray) -> tuple[float, np.ndarray]:
+    """Exact minimum cut of a small matrix graph by enumeration.
+
+    Returns ``(value, side)``; vertex 0 is fixed outside the cut so each cut
+    is enumerated once.  All 2^(n-1) - 1 cut values are evaluated with one
+    matrix product (the recursion calls this Theta(n^2) times).
+    """
+    n = a.shape[0]
+    if n < 2:
+        raise ValueError("minimum cut needs at least 2 vertices")
+    if n > 24:
+        raise ValueError(f"brute force limited to n <= 24, got {n}")
+    sides = _side_table(n)
+    values = np.einsum("ki,ij,kj->k", sides, a, 1.0 - sides)
+    best = int(np.argmin(values))
+    return float(values[best]), sides[best].astype(bool)
+
+
+def brute_force_matrix_all(a: np.ndarray) -> tuple[float, list[np.ndarray]]:
+    """All minimum cuts of a small matrix graph; ``(value, [sides])``.
+
+    Needed by the find-*all*-minimum-cuts mode (Lemma 4.3): the single-cut
+    base case breaks ties deterministically and would hide tied optima.
+    """
+    n = a.shape[0]
+    if n < 2:
+        raise ValueError("minimum cut needs at least 2 vertices")
+    if n > 24:
+        raise ValueError(f"brute force limited to n <= 24, got {n}")
+    sides = _side_table(n)
+    values = np.einsum("ki,ij,kj->k", sides, a, 1.0 - sides)
+    best = values.min()
+    hits = np.flatnonzero(values <= best + 1e-12)
+    return float(best), [sides[i].astype(bool) for i in hits]
+
+
+def _contract_matrix(a: np.ndarray, labels: np.ndarray, n_new: int,
+                     mem: MemoryTracker) -> np.ndarray:
+    """Row/column combine by label, zero diagonal (streaming passes)."""
+    n = a.shape[0]
+    rows = np.zeros((n_new, n), dtype=np.float64)
+    np.add.at(rows, labels, a)
+    out = np.zeros((n_new, n_new), dtype=np.float64)
+    np.add.at(out.T, labels, rows.T)
+    np.fill_diagonal(out, 0.0)
+    mem.alloc("ks_matrix", n * n)
+    mem.scan("ks_matrix", 0, n * n)
+    mem.ops(2 * n * n)
+    return out
+
+
+def random_contract_matrix(
+    a: np.ndarray,
+    t: int,
+    rng: np.random.Generator,
+    mem: MemoryTracker | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Iterated-sampling random contraction of ``a`` down to ``t`` vertices.
+
+    Returns ``(contracted_matrix, labels, n_new)``; ``labels`` maps the
+    vertices of ``a`` to ``0..n_new-1``.  If the graph disconnects the
+    process (no edges remain while more than ``t`` components exist), the
+    returned ``n_new`` exceeds ``t`` — callers detect the zero-weight matrix.
+    """
+    mem = mem or NullTracker()
+    n = a.shape[0]
+    if t < 2:
+        raise ValueError(f"contraction target must be >= 2, got {t}")
+    k = n
+    cur = a
+    total_labels = np.arange(n, dtype=np.int64)
+    while k > t:
+        flat = cur.ravel()
+        total = flat.sum()
+        if total <= 0:
+            break  # disconnected remainder
+        s = min(max(32, math.ceil(k ** (1.0 + _MATRIX_SIGMA))), 4 * k * k)
+        # Sample matrix entries proportionally to weight (each edge appears
+        # twice with equal weight: proportionality is preserved).
+        cdf = np.cumsum(flat)
+        picks = np.searchsorted(cdf, rng.random(s) * cdf[-1], side="right")
+        su = picks // k
+        sv = picks % k
+        mem.alloc("ks_matrix", k * k)
+        mem.scan("ks_matrix", 0, k * k)
+        mem.touch("ks_matrix", picks)
+        mem.ops(k * k + s * max(1, int(math.log2(max(k, 2)))))
+        labels, k_new = prefix_select(k, su, sv, t)
+        mem.ops(3 * s)
+        if k_new == k:
+            continue  # sample produced no contraction; redraw
+        cur = _contract_matrix(cur, labels, k_new, mem)
+        total_labels = labels[total_labels]
+        k = k_new
+    return cur, total_labels, k
+
+
+def karger_stein_matrix(
+    a: np.ndarray,
+    rng: np.random.Generator,
+    mem: MemoryTracker | None = None,
+) -> tuple[float, np.ndarray]:
+    """Recursive contraction minimum cut of a matrix graph.
+
+    Returns ``(value, side)`` where ``side`` is a boolean partition of the
+    matrix's vertices achieving ``value``.  One invocation succeeds with
+    probability Omega(1/log n) (Lemma 2.2); drivers repeat it.
+    """
+    mem = mem or NullTracker()
+    n = a.shape[0]
+    if n <= KS_BASE_SIZE:
+        val, side = brute_force_matrix(a)
+        mem.alloc("ks_matrix", n * n)
+        mem.scan("ks_matrix", 0, n * n)
+        mem.ops((1 << n) * n)
+        return val, side
+
+    if a.sum() <= 0:  # edgeless: any side is a zero cut
+        side = np.zeros(n, dtype=bool)
+        side[0] = True
+        return 0.0, side
+
+    t = math.ceil(1 + n / math.sqrt(2))
+    best_val = math.inf
+    best_side = None
+    for _rep in range(2):
+        cur, labels, k = random_contract_matrix(a, t, rng, mem)
+        if k > t and cur.sum() <= 0:
+            # Disconnected: exact zero cut along a current component.
+            iu, iv = np.nonzero(cur)
+            comp, _ = components_from_edges(k, iu, iv)
+            side = (comp == comp[0])[labels]
+            return 0.0, side
+        val, side_k = karger_stein_matrix(cur, rng, mem)
+        side = side_k[labels]
+        if val < best_val:
+            best_val = val
+            best_side = side
+    return best_val, best_side
+
+
+def karger_stein_matrix_all(
+    a: np.ndarray,
+    rng: np.random.Generator,
+    mem: MemoryTracker | None = None,
+) -> tuple[float, dict[bytes, np.ndarray]]:
+    """Recursive contraction collecting *all* tied minimum cuts it sees.
+
+    Returns ``(value, {canonical_key: side})``.  One invocation preserves a
+    given minimum cut with the Lemma 2.2 probability, so repeated calls
+    accumulate the full set of minimum cuts w.h.p. (Lemma 4.3).
+    """
+    mem = mem or NullTracker()
+    n = a.shape[0]
+    if n <= KS_BASE_SIZE:
+        val, sides = brute_force_matrix_all(a)
+        mem.ops((1 << n) * n)
+        return val, {canonical_cut_key(s): s for s in sides}
+
+    if a.sum() <= 0:  # edgeless: every single vertex forms a zero cut
+        cuts = {}
+        for x in range(n):
+            side = np.zeros(n, dtype=bool)
+            side[x] = True
+            cuts[canonical_cut_key(side)] = side
+        return 0.0, cuts
+
+    t = math.ceil(1 + n / math.sqrt(2))
+    best_val = math.inf
+    best_cuts: dict[bytes, np.ndarray] = {}
+    for _rep in range(2):
+        cur, labels, k = random_contract_matrix(a, t, rng, mem)
+        if k > t and cur.sum() <= 0:
+            iu, iv = np.nonzero(cur)
+            comp, ncomp = components_from_edges(k, iu, iv)
+            comp_lifted = comp[labels]
+            cuts = {}
+            for c in range(ncomp):
+                side = comp_lifted == c
+                cuts[canonical_cut_key(side)] = side
+            return 0.0, cuts
+        val, sub_cuts = karger_stein_matrix_all(cur, rng, mem)
+        if val > best_val:
+            continue
+        lifted = {}
+        for side_k in sub_cuts.values():
+            side = side_k[labels]
+            lifted[canonical_cut_key(side)] = side
+        if val < best_val:
+            best_val = val
+            best_cuts = lifted
+        else:
+            best_cuts.update(lifted)
+    return best_val, best_cuts

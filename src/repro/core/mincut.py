@@ -1,0 +1,670 @@
+"""Exact global minimum cut (§4): Eager Step + Recursive Step trials.
+
+The algorithm performs ``t = Theta((n^2/m) log^2 n)`` independent trials and
+returns the best cut found.  Each trial:
+
+1. **Eager Step** — randomly contract the graph to ``ceil(sqrt(m)) + 1``
+   vertices with Iterated Sampling over the distributed edge array
+   (weighted Sparsification + Prefix Selection + sparse Bulk Edge
+   Contraction, §4.2);
+2. **Recursive Step** — run Recursive Contraction on the now-dense graph,
+   stored as a distributed adjacency matrix.  Each recursion level contracts
+   two independent copies to ``ceil(1 + n/sqrt(2))`` vertices (dense
+   Iterated Sampling + dense Bulk Edge Contraction) and hands one copy to
+   each half of the processor group; a group of one finishes with the
+   sequential cache-oblivious Karger–Stein code (§4.3).
+
+Trial scheduling follows §4: with ``p <= t`` the graph is replicated and
+trials are distributed round-robin over processors (no communication inside
+a trial); with ``p > t`` the processors split into ``t`` groups, each
+running one trial in parallel.
+
+All results carry a *witness*: a boolean vertex partition of the original
+graph achieving the reported value (recomputing its value on the input is
+the library's end-to-end self-check, mirroring the artifact's verification
+methodology).
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bsp.counters import CountersReport
+from repro.bsp.engine import Engine
+from repro.bsp.machine import TimeEstimate
+from repro.cache.traced import AnalyticTracker, MemoryTracker, NullTracker
+from repro.core.contraction import (
+    dense_bulk_contract,
+    prefix_select,
+    row_block,
+    sparse_bulk_contract,
+)
+from repro.core.karger_stein import (
+    KS_BASE_SIZE,
+    brute_force_matrix,
+    canonical_cut_key,
+    karger_stein_matrix,
+    karger_stein_matrix_all,
+)
+from repro.core.sparsify import sparsify_weighted
+from repro.core.trials import num_trials
+from repro.graph.edgelist import EdgeList
+from repro.rng.sampling import CumulativeWeightSampler
+from repro.rng.streams import RngStreams
+
+__all__ = [
+    "minimum_cut",
+    "minimum_cuts",
+    "minimum_cut_sequential",
+    "mincut_program",
+    "MinCutResult",
+    "MinCutsResult",
+]
+
+#: Sampling exponent of the sparse Eager Step: sample size k^(1+sigma).
+_EAGER_SIGMA = 0.3
+
+#: Safety bound on Iterated Sampling rounds (O(1) needed w.h.p.).
+_MAX_ROUNDS = 80
+
+
+def _eager_target(n: int, m: int) -> int:
+    """Eager Step contraction target: ceil(sqrt(m)) + 1, at least 2."""
+    return max(2, min(n, math.ceil(math.sqrt(max(m, 1))) + 1))
+
+
+def _relabel_combine(u, v, w, labels, n_new):
+    """Relabel endpoints, drop loops, combine parallel edges (sequential)."""
+    u = labels[u]
+    v = labels[v]
+    keep = u != v
+    u, v, w = u[keep], v[keep], w[keep]
+    if u.size == 0:
+        return u, v, w
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    key = lo * np.int64(n_new) + hi
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    w = w[order]
+    starts = np.flatnonzero(np.r_[True, key[1:] != key[:-1]])
+    key = key[starts]
+    w = np.add.reduceat(w, starts) if w.size else w
+    return (key // n_new).astype(np.int64), (key % n_new).astype(np.int64), w
+
+
+# ---------------------------------------------------------------------------
+# Sequential trial (the p <= t fast path and the minimum_cut_sequential code)
+# ---------------------------------------------------------------------------
+
+def sequential_eager_step(
+    u, v, w, n, target, rng,
+    mem: MemoryTracker | None = None,
+    first_sampler: CumulativeWeightSampler | None = None,
+):
+    """Iterated Sampling contraction of edge arrays down to ``target``.
+
+    Returns ``(u, v, w, labels, k)``; ``labels`` maps ``0..n-1`` onto the
+    ``k`` remaining vertices.  ``first_sampler`` lets callers reuse the
+    first round's cumulative-weight table across trials on the same graph.
+    """
+    mem = mem or NullTracker()
+    k = n
+    labels_total = np.arange(n, dtype=np.int64)
+    mem.alloc("edges", u.size, words_per_elem=3)
+    mem.alloc("labels", n)
+    for round_idx in range(_MAX_ROUNDS):
+        m = u.size
+        if k <= target or m == 0:
+            break
+        s = min(max(32, math.ceil(k ** (1.0 + _EAGER_SIGMA))), 4 * m)
+        sampler = first_sampler if (round_idx == 0 and first_sampler is not None) \
+            else CumulativeWeightSampler(w)
+        idx = sampler.sample(rng, s)
+        su, sv = u[idx], v[idx]
+        mem.scan("edges", 0, m)
+        mem.touch("edges", idx)
+        mem.ops(m + s * max(1, int(math.log2(max(m, 2)))))
+        labels, k_new = prefix_select(k, su, sv, target)
+        mem.touch("labels", su)
+        mem.ops(3 * s)
+        u, v, w = _relabel_combine(u, v, w, labels, k_new)
+        mem.scan("edges", 0, m)
+        mem.ops(m * max(1, int(math.log2(max(m, 2)))))
+        labels_total = labels[labels_total]
+        mem.scan("labels")
+        mem.ops(n)
+        k = k_new
+    else:
+        raise RuntimeError("eager step did not converge; sampling bug")
+    return u, v, w, labels_total, k
+
+
+def _edges_to_dense(u, v, w, k):
+    """Accumulate combined edge arrays into a symmetric k x k matrix."""
+    a = np.zeros((k, k), dtype=np.float64)
+    np.add.at(a, (u, v), w)
+    np.add.at(a, (v, u), w)
+    return a
+
+
+def sequential_trial(
+    u, v, w, n, rng,
+    mem: MemoryTracker | None = None,
+    first_sampler: CumulativeWeightSampler | None = None,
+):
+    """One full trial (Eager + Recursive Step) on local edge arrays.
+
+    Returns ``(value, side)`` with ``side`` a boolean partition of the
+    original ``n`` vertices.
+    """
+    mem = mem or NullTracker()
+    target = _eager_target(n, u.size)
+    u2, v2, w2, labels, k = sequential_eager_step(
+        u, v, w, n, target, rng, mem=mem, first_sampler=first_sampler
+    )
+    a = _edges_to_dense(u2, v2, w2, k)
+    mem.alloc("ks_matrix", k * k)
+    mem.scan("ks_matrix", 0, k * k)
+    mem.ops(k * k)
+    val, side_k = karger_stein_matrix(a, rng, mem)
+    return val, side_k[labels]
+
+
+def _pick_min(a, b):
+    """Deterministic fold: keep the smaller cut value (left wins ties)."""
+    return a if a[0] <= b[0] else b
+
+
+def sequential_trial_all(
+    u, v, w, n, rng,
+    mem: MemoryTracker | None = None,
+    first_sampler: CumulativeWeightSampler | None = None,
+):
+    """One trial collecting all tied minimum cuts it encounters.
+
+    Returns ``(value, {canonical_key: side})`` over the original vertices.
+    """
+    mem = mem or NullTracker()
+    target = _eager_target(n, u.size)
+    u2, v2, w2, labels, k = sequential_eager_step(
+        u, v, w, n, target, rng, mem=mem, first_sampler=first_sampler
+    )
+    a = _edges_to_dense(u2, v2, w2, k)
+    mem.ops(k * k)
+    val, cuts_k = karger_stein_matrix_all(a, rng, mem)
+    cuts = {}
+    for side_k in cuts_k.values():
+        side = side_k[labels]
+        cuts[canonical_cut_key(side)] = side
+    return val, cuts
+
+
+def _merge_cut_sets(a, b):
+    """Fold for collect-all runs: ``(value, {key: side})`` pairs."""
+    va, cuts_a = a
+    vb, cuts_b = b
+    if va < vb:
+        return a
+    if vb < va:
+        return b
+    merged = dict(cuts_a)
+    merged.update(cuts_b)
+    return va, merged
+
+
+# ---------------------------------------------------------------------------
+# Parallel trial: distributed Eager Step + distributed Recursive Step
+# ---------------------------------------------------------------------------
+
+def parallel_eager_step(ctx, comm, u, v, w, n, target, *, sigma=_EAGER_SIGMA):
+    """Generator: distributed Iterated Sampling down to ``target`` vertices.
+
+    ``u, v, w`` is this processor's slice.  Returns
+    ``(u, v, w, labels, k)`` where ``labels`` (known at every member) maps
+    the original ``n`` vertices onto the ``k`` remaining ones.
+    """
+    root = 0
+    k = n
+    labels_total = np.arange(n, dtype=np.int64)
+    for _round in range(_MAX_ROUNDS):
+        m_total = yield from comm.allreduce(int(u.size), op=operator.add)
+        if k <= target or m_total == 0:
+            break
+        s = min(max(32, math.ceil(k ** (1.0 + sigma))), 4 * m_total)
+        sample = yield from sparsify_weighted(ctx, comm, u, v, w, s, root=root)
+        if comm.rank == root:
+            su, sv, _sw = sample
+            g_map, k_new = prefix_select(k, su, sv, target)
+            ctx.charge(ops=3.0 * s, misses=ctx.cache.random_access(s, k))
+            payload = (g_map, k_new)
+        else:
+            payload = None
+        g_map, k_new = yield from comm.bcast(payload, root=root)
+        if k_new == k:
+            continue
+        u, v, w = yield from sparse_bulk_contract(ctx, comm, u, v, w, g_map, k_new)
+        labels_total = g_map[labels_total]
+        ctx.charge_scan(n)
+        k = k_new
+    else:
+        raise RuntimeError("parallel eager step did not converge; sampling bug")
+    return u, v, w, labels_total, k
+
+
+def edges_to_distributed_matrix(ctx, comm, u, v, w, k):
+    """Generator: route combined edges into row blocks of a dense matrix.
+
+    Returns this processor's contiguous row block of the symmetric ``k x k``
+    weight matrix (distribution per :func:`row_block`).
+    """
+    q = comm.size
+    bounds = np.array([row_block(j, q, k)[0] for j in range(q)] + [k],
+                      dtype=np.int64)
+
+    def owner(rows):
+        return (np.searchsorted(bounds, rows, side="right") - 1).astype(np.int64)
+
+    parcels = []
+    ou = owner(u)
+    ov = owner(v)
+    for j in range(q):
+        sel_u = ou == j
+        sel_v = ov == j
+        rows = np.concatenate([u[sel_u], v[sel_v]])
+        cols = np.concatenate([v[sel_u], u[sel_v]])
+        ws = np.concatenate([w[sel_u], w[sel_v]])
+        parcels.append((rows, cols, ws))
+    ctx.charge_scan(u.size, words_per_elem=3)
+    received = yield from comm.alltoall(parcels)
+    lo, hi = row_block(comm.rank, q, k)
+    block = np.zeros((hi - lo, k), dtype=np.float64)
+    for rows, cols, ws in received:
+        np.add.at(block, (rows - lo, cols), ws)
+    ctx.charge(ops=float(hi - lo) * k, misses=ctx.cache.matrix_scan(hi - lo, k))
+    return block
+
+
+def dense_iterated_sampling(ctx, comm, rows, n, target, *, sigma=_EAGER_SIGMA):
+    """Generator: contract a distributed matrix graph down to ``target``.
+
+    Returns ``(rows, labels, k, disconnected)``; ``labels`` (length ``n``,
+    known everywhere) maps onto the ``k`` remaining vertices.
+    ``disconnected`` is set when the matrix ran out of edges early.
+    """
+    root = 0
+    k = n
+    labels_total = np.arange(n, dtype=np.int64)
+    disconnected = False
+    for _round in range(_MAX_ROUNDS):
+        if k <= target:
+            break
+        local_w = float(rows.sum())
+        total_w = yield from comm.allreduce(local_w, op=operator.add)
+        if total_w <= 0:
+            disconnected = True
+            break
+        lo, _hi = row_block(comm.rank, comm.size, k)
+        iu, iv = np.nonzero(rows)
+        eu = iu.astype(np.int64) + lo
+        ev = iv.astype(np.int64)
+        ew = rows[iu, iv]
+        ctx.charge(ops=rows.size, misses=ctx.cache.matrix_scan(*rows.shape))
+        s = min(max(32, math.ceil(k ** (1.0 + sigma))), 4 * k * k)
+        sample = yield from sparsify_weighted(ctx, comm, eu, ev, ew, s, root=root)
+        if comm.rank == root:
+            su, sv, _sw = sample
+            g_map, k_new = prefix_select(k, su, sv, target)
+            ctx.charge(ops=3.0 * s, misses=ctx.cache.random_access(s, k))
+            payload = (g_map, k_new)
+        else:
+            payload = None
+        g_map, k_new = yield from comm.bcast(payload, root=root)
+        if k_new == k:
+            continue
+        rows = yield from dense_bulk_contract(ctx, comm, rows, k, g_map, k_new)
+        labels_total = g_map[labels_total]
+        k = k_new
+    else:
+        raise RuntimeError("dense iterated sampling did not converge; sampling bug")
+    return rows, labels_total, k, disconnected
+
+
+def _gather_matrix(ctx, comm, rows, n):
+    """Generator: assemble the distributed matrix at local rank 0."""
+    blocks = yield from comm.gather(rows, root=0)
+    if comm.rank == 0:
+        return np.vstack(blocks)
+    return None
+
+
+def recursive_step(ctx, comm, rows, n):
+    """Generator: distributed Recursive Contraction (§4.3).
+
+    ``rows`` is this processor's row block of the current matrix.  Returns
+    ``(value, side)`` — known at *every* member of ``comm`` — where ``side``
+    partitions the matrix's ``n`` vertices.
+    """
+    q = comm.size
+    if q == 1:
+        tracker = AnalyticTracker(ctx.cache)
+        val, side = karger_stein_matrix(rows, ctx.rng, tracker)
+        ctx.charge(ops=tracker.op_count, misses=tracker.miss_count)
+        return val, side
+
+    total_w = yield from comm.allreduce(float(rows.sum()), op=operator.add)
+    if total_w <= 0:
+        side = np.zeros(n, dtype=bool)
+        side[0] = True
+        return 0.0, side
+
+    if n <= max(KS_BASE_SIZE, q):
+        full = yield from _gather_matrix(ctx, comm, rows, n)
+        if comm.rank == 0:
+            val, side = brute_force_matrix(full)
+            ctx.charge(ops=float(1 << n) * n)
+            payload = (val, side)
+        else:
+            payload = None
+        val, side = yield from comm.bcast(payload, root=0)
+        return val, side
+
+    t = max(2, math.ceil(1 + n / math.sqrt(2)))
+    half = q // 2
+    color = 0 if comm.rank < half else 1
+
+    copies = []
+    for _c in (0, 1):
+        crows, clabels, ck, disc = yield from dense_iterated_sampling(
+            ctx, comm, rows, n, t
+        )
+        copies.append((crows, clabels, ck, disc))
+    for crows, clabels, ck, disc in copies:
+        if disc:
+            # A copy ran out of edges above its target: the graph (hence the
+            # input) is disconnected — an exact zero cut along a component.
+            side = (clabels == clabels[0])
+            if side.all():
+                side = ~side
+                side[0] = True
+            return 0.0, side
+
+    # Redistribute: copy 0's rows to the first `half` processors, copy 1's
+    # to the rest, in one alltoall over the parent group.
+    group_sizes = (half, q - half)
+    parcels = []
+    for j in range(q):
+        c = 0 if j < half else 1
+        crows, _clabels, ck, _ = copies[c]
+        jr = j if c == 0 else j - half
+        tlo, thi = row_block(jr, group_sizes[c], ck)
+        mylo, myhi = row_block(comm.rank, q, ck)
+        lo, hi = max(tlo, mylo), min(thi, myhi)
+        if hi > lo:
+            parcels.append((lo, crows[lo - mylo:hi - mylo]))
+        else:
+            parcels.append(None)
+    received = yield from comm.alltoall(parcels)
+
+    my_rows_c, my_labels, my_k, _ = copies[color]
+    sub = yield from comm.split(color)
+    tlo, thi = row_block(sub.rank, group_sizes[color], my_k)
+    block = np.zeros((thi - tlo, my_k), dtype=np.float64)
+    for part in received:
+        if part is None:
+            continue
+        lo, chunk = part
+        block[lo - tlo:lo - tlo + chunk.shape[0]] = chunk
+    ctx.charge(ops=float(max(thi - tlo, 0)) * my_k,
+               misses=ctx.cache.matrix_scan(max(thi - tlo, 0), my_k))
+
+    val, side_sub = yield from recursive_step(ctx, sub, block, my_k)
+    side_n = side_sub[my_labels]
+    best = yield from comm.allreduce((val, side_n), op=_pick_min)
+    return best
+
+
+def parallel_trial(ctx, comm, u, v, w, n):
+    """Generator: one fully parallel trial over the group ``comm``.
+
+    Returns ``(value, side)`` known at every group member; ``side``
+    partitions the original ``n`` vertices.
+    """
+    m_total = yield from comm.allreduce(int(u.size), op=operator.add)
+    target = _eager_target(n, m_total)
+    u2, v2, w2, labels, k = yield from parallel_eager_step(
+        ctx, comm, u, v, w, n, target
+    )
+    m_left = yield from comm.allreduce(int(u2.size), op=operator.add)
+    if m_left == 0 and k > 1:
+        side = labels == labels[0]
+        if side.all():  # single remaining vertex: connected input fully merged
+            side = ~side
+            side[0] = True
+        return 0.0, side
+    rows = yield from edges_to_distributed_matrix(ctx, comm, u2, v2, w2, k)
+    val, side_k = yield from recursive_step(ctx, comm, rows, k)
+    return val, side_k[labels]
+
+
+# ---------------------------------------------------------------------------
+# Driver program and public API
+# ---------------------------------------------------------------------------
+
+def mincut_program(ctx, slices, n, trials, trial_seed, collect_all=False):
+    """SPMD program: replicate the graph, run the trials, fold the minimum.
+
+    Returns ``(value, side)`` at every rank — or, with ``collect_all``,
+    ``(value, {canonical_key: side})`` carrying every distinct minimum cut
+    discovered across the trials (Lemma 4.3: the trial budget finds *all*
+    minimum cuts w.h.p.).
+    """
+    comm = ctx.comm
+    p = ctx.p
+    g = slices[ctx.rank]
+
+    def pack(val, side):
+        if collect_all:
+            cuts = {} if side is None else {canonical_cut_key(side): side}
+            return val, cuts
+        return val, side
+
+    fold = _merge_cut_sets if collect_all else _pick_min
+
+    # Replicate the distributed edge array (the paper broadcasts the graph
+    # when p <= t and each group needs a full copy when p > t).
+    parts = yield from comm.allgather((g.u, g.v, g.w))
+    fu = np.concatenate([q[0] for q in parts])
+    fv = np.concatenate([q[1] for q in parts])
+    fw = np.concatenate([q[2] for q in parts])
+    ctx.charge_scan(fu.size, words_per_elem=3)
+    if fu.size == 0:
+        side = np.zeros(n, dtype=bool)
+        side[0] = True
+        return pack(0.0, side)
+
+    if p <= trials:
+        # Trials round-robin over processors; no communication inside.
+        streams = RngStreams(trial_seed)
+        tracker = AnalyticTracker(ctx.cache)
+        first_sampler = CumulativeWeightSampler(fw)
+        tracker.alloc("edges", fu.size, words_per_elem=3)
+        tracker.alloc("labels", n)
+        best = pack(math.inf, None)
+        for ti in range(ctx.rank, trials, p):
+            # Per-trial streams keyed by the trial index: the set of trials
+            # (hence the result) is identical for every processor count.
+            rng_t = streams.aux(ti)
+            if collect_all:
+                val, cuts = sequential_trial_all(
+                    fu, fv, fw, n, rng_t,
+                    mem=tracker, first_sampler=first_sampler,
+                )
+                best = fold(best, (val, cuts))
+            else:
+                val, side = sequential_trial(
+                    fu, fv, fw, n, rng_t,
+                    mem=tracker, first_sampler=first_sampler,
+                )
+                best = fold(best, pack(val, side))
+        ctx.charge(ops=tracker.op_count, misses=tracker.miss_count)
+        best = yield from comm.allreduce(best, op=fold)
+        return best
+
+    # p > trials: processor groups, one parallel trial per group.
+    color = ctx.rank * trials // p
+    sub = yield from comm.split(color)
+    local = EdgeList(n, fu, fv, fw, canonical=False, validate=False)
+    my_slice = local.slices(sub.size)[sub.rank]
+    val, side = yield from parallel_trial(
+        ctx, sub, my_slice.u, my_slice.v, my_slice.w, n
+    )
+    contribution = pack(val, side) if sub.rank == 0 else pack(math.inf, None)
+    best = yield from comm.allreduce(contribution, op=fold)
+    return best
+
+
+@dataclass(frozen=True)
+class MinCutResult:
+    """Result of an exact minimum-cut run."""
+
+    value: float
+    side: np.ndarray         # boolean witness partition of the input vertices
+    trials: int
+    report: CountersReport
+    time: TimeEstimate
+
+
+def minimum_cut(
+    g: EdgeList,
+    p: int = 4,
+    *,
+    seed: int = 0,
+    success_prob: float = 0.9,
+    trials: int | None = None,
+    trial_scale: float = 1.0,
+    preprocess: bool = False,
+    engine: Engine | None = None,
+) -> MinCutResult:
+    """Exact (w.p. >= ``success_prob``) global minimum cut of ``g``.
+
+    ``trials`` overrides the §4 trial count Theta((n^2/m) log^2 n);
+    ``trial_scale`` shrinks it proportionally for scaled-down benchmark
+    runs.  ``preprocess`` applies the §2.3 heavy-edge contraction first
+    (exactness-preserving; shrinks graphs with a wide weight spread).
+    Deterministic given ``seed`` (and, for ``p <= trials``, independent of
+    ``p``).
+    """
+    if g.n < 2:
+        raise ValueError("minimum cut needs at least 2 vertices")
+    engine = engine or Engine()
+    lift = None
+    if preprocess:
+        from repro.core.preprocess import contract_heavy_edges
+
+        h, lift = contract_heavy_edges(g)
+        if h.n < 2:
+            lift = None
+        else:
+            g = h
+    if trials is None:
+        trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
+                            scale=trial_scale)
+    slices = g.slices(p)
+    result = engine.run(
+        mincut_program, p, seed=seed,
+        args=(slices, g.n, trials, seed),
+    )
+    value, side = result.root_value
+    if lift is not None and side is not None:
+        side = side[lift]
+    return MinCutResult(
+        value=value, side=side, trials=trials,
+        report=result.report, time=result.time,
+    )
+
+
+@dataclass(frozen=True)
+class MinCutsResult:
+    """All distinct minimum cuts discovered across the trials."""
+
+    value: float
+    sides: list[np.ndarray]   # one boolean witness per distinct cut
+    trials: int
+    report: CountersReport
+    time: TimeEstimate
+
+
+def minimum_cuts(
+    g: EdgeList,
+    p: int = 4,
+    *,
+    seed: int = 0,
+    success_prob: float = 0.9,
+    trials: int | None = None,
+    trial_scale: float = 1.0,
+    engine: Engine | None = None,
+) -> MinCutsResult:
+    """All global minimum cuts of ``g`` (w.h.p. given enough trials).
+
+    Lemma 4.3: the §4 trial budget preserves and finds *every* minimum cut
+    with high probability; this driver collects the distinct witnesses
+    discovered across trials (a side and its complement count once).
+    """
+    if g.n < 2:
+        raise ValueError("minimum cut needs at least 2 vertices")
+    engine = engine or Engine()
+    if trials is None:
+        trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
+                            scale=trial_scale)
+    slices = g.slices(p)
+    result = engine.run(
+        mincut_program, p, seed=seed,
+        args=(slices, g.n, trials, seed),
+        kwargs={"collect_all": True},
+    )
+    value, cuts = result.root_value
+    sides = [cuts[k] for k in sorted(cuts)]
+    return MinCutsResult(
+        value=value, sides=sides, trials=trials,
+        report=result.report, time=result.time,
+    )
+
+
+def minimum_cut_sequential(
+    g: EdgeList,
+    *,
+    seed: int = 0,
+    success_prob: float = 0.9,
+    trials: int | None = None,
+    trial_scale: float = 1.0,
+    mem: MemoryTracker | None = None,
+) -> tuple[float, np.ndarray]:
+    """Sequential execution of the trial loop, instrumentable with ``mem``.
+
+    This is the engine-free p = 1 code path used by the sequential cache
+    studies (Figs 8a, 9: "MC" vs KS vs SW).
+    """
+    if g.n < 2:
+        raise ValueError("minimum cut needs at least 2 vertices")
+    if g.m == 0:
+        side = np.zeros(g.n, dtype=bool)
+        side[0] = True
+        return 0.0, side
+    mem = mem or NullTracker()
+    if trials is None:
+        trials = num_trials(g.n, g.m, success_prob=success_prob, scale=trial_scale)
+    streams = RngStreams(seed)
+    first_sampler = CumulativeWeightSampler(g.w)
+    best = (math.inf, None)
+    for ti in range(trials):
+        val, side = sequential_trial(
+            g.u, g.v, g.w, g.n, streams.aux(ti),
+            mem=mem, first_sampler=first_sampler,
+        )
+        best = _pick_min(best, (val, side))
+    return best

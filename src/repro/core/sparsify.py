@@ -1,0 +1,128 @@
+"""Communication-avoiding sparsification (§3.1, §3.2).
+
+Weighted variant (§3.1, the primitive under Iterated Sampling):
+
+1. every processor computes the total weight ``W_i`` of its edge slice;
+   the values are gathered at the root;
+2. the root draws, for each of the ``s`` sample slots, the providing
+   processor with probability ``W_i / sum_z W_z`` (jointly a multinomial)
+   and scatters the per-processor counts;
+3. every processor samples that many of its edges, each with probability
+   ``w_i(e)/W_i``, and the samples are gathered at the root;
+4. the root randomly permutes the gathered sample (the order matters for
+   the correctness of Prefix Selection — Lemma 3.1's proof relies on it).
+
+This takes O(1) supersteps, O(s + p) communication volume,
+O(s log n + m/p) time and O(s log n + m/(pB)) cache misses (Lemma 3.2).
+
+Unweighted variant (§3.2 refinement, used by connected components): the
+root round-trip is skipped — each processor oversamples ``(1+delta) mu_i``
+edges locally (Chernoff bound), or contributes *all* its edges when its
+expected count is below ``9 ln(n) / delta^2``.  Since component finding does
+not need a random order, no permutation is applied, and uniform sampling
+costs O(1) per edge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rng.sampling import CumulativeWeightSampler, multinomial_split
+
+__all__ = ["sparsify_weighted", "sparsify_unweighted"]
+
+
+def sparsify_weighted(ctx, comm, u, v, w, s, *, root=0):
+    """Generator: weighted edge sample of size ``s``, gathered at ``root``.
+
+    ``u, v, w`` are this processor's slice of the distributed edge array.
+    Returns ``(su, sv, sw)`` at the root — a randomly permuted sample where
+    each entry is an i.i.d. edge drawn proportionally to weight (Lemma 3.1)
+    — and ``None`` elsewhere.
+    """
+    if s < 0:
+        raise ValueError(f"sample size must be non-negative, got {s}")
+    m_local = u.size
+    w_local = float(w.sum()) if m_local else 0.0
+    ctx.charge_scan(m_local, words_per_elem=3)
+
+    # (1) gather slice weights; (2) root schedules the sample slots.
+    weights = yield from comm.gather(w_local, root=root)
+    if comm.rank == root:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.sum() <= 0:
+            raise ValueError("cannot sparsify a graph with zero total weight")
+        counts = multinomial_split(ctx.rng, s, weights)
+        ctx.charge(ops=s + comm.size)
+        counts = list(counts)
+    else:
+        counts = None
+    my_count = yield from comm.scatter(counts, root=root)
+
+    # (3) local weighted sampling: linear preprocessing, log-time draws.
+    if my_count > 0:
+        if m_local == 0:
+            raise AssertionError(
+                "root scheduled samples from an empty slice (weight bookkeeping bug)"
+            )
+        sampler = CumulativeWeightSampler(w)
+        idx = sampler.sample(ctx.rng, int(my_count))
+        part = (u[idx], v[idx], w[idx])
+        ctx.charge_random(my_count * max(1.0, math.log2(max(m_local, 2))),
+                          working_set=m_local)
+    else:
+        part = (u[:0], v[:0], w[:0])
+    parts = yield from comm.gather(part, root=root)
+
+    # (4) root permutes the sample uniformly at random.
+    if comm.rank == root:
+        su = np.concatenate([q[0] for q in parts])
+        sv = np.concatenate([q[1] for q in parts])
+        sw = np.concatenate([q[2] for q in parts])
+        perm = ctx.rng.permutation(su.size)
+        ctx.charge(
+            ops=su.size * max(1.0, math.log2(max(su.size, 2))),
+            misses=ctx.cache.permute(3 * su.size),
+        )
+        return su[perm], sv[perm], sw[perm]
+    return None
+
+
+def sparsify_unweighted(ctx, comm, u, v, s, *, n, delta=0.5, root=0):
+    """Generator: unweighted edge sample of ~``s`` edges, gathered at ``root``.
+
+    Local oversampling variant: no root scheduling round-trip, no final
+    permutation, O(1) work per drawn edge.  Processors whose expected count
+    ``mu_i = s * m_i / m`` is below the Chernoff threshold contribute their
+    whole slice.  Returns ``(su, sv)`` at the root, ``None`` elsewhere.
+    """
+    if s < 0:
+        raise ValueError(f"sample size must be non-negative, got {s}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    m_local = int(u.size)
+    m_total = yield from comm.allreduce(m_local, op=lambda a, b: a + b)
+
+    if m_total == 0:
+        part = (u[:0], v[:0])
+    else:
+        mu = s * m_local / m_total
+        threshold = 9.0 * math.log(max(n, 2)) / (delta * delta)
+        if mu >= threshold:
+            k = min(m_local, math.ceil((1.0 + delta) * mu))
+            idx = ctx.rng.integers(0, m_local, size=k)
+            part = (u[idx], v[idx])
+            ctx.charge_random(k, working_set=m_local)
+        else:
+            part = (u, v)  # include every local edge
+            ctx.charge_scan(m_local, words_per_elem=2)
+    parts = yield from comm.gather(part, root=root)
+
+    if comm.rank == root:
+        su = np.concatenate([q[0] for q in parts])
+        sv = np.concatenate([q[1] for q in parts])
+        ctx.charge_scan(su.size, words_per_elem=2)
+        return su, sv
+    return None

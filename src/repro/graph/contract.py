@@ -1,0 +1,125 @@
+"""Sequential contraction utilities.
+
+Edge contraction (§2.4) merges the endpoints of an edge, removes the loops
+this creates, and combines parallel edges.  These helpers implement the
+vectorized sequential pieces that both the BSP algorithms and the baselines
+share: relabeling endpoints under a vertex mapping, stripping loops,
+combining parallel edges, and computing the components induced by an edge
+subset (used by Prefix Selection and by the CC algorithm's root step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "relabel_edges",
+    "combine_parallel_edges",
+    "contract_edges",
+    "components_from_edges",
+    "compress_labels",
+    "union_find_components",
+]
+
+
+def relabel_edges(g: EdgeList, labels: np.ndarray, n_new: int) -> EdgeList:
+    """Replace each edge ``(u, v)`` by ``(labels[u], labels[v])``, drop loops.
+
+    The result is a multigraph on ``n_new`` vertices; parallel edges are
+    *not* combined (that is bulk contraction's job).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (g.n,):
+        raise ValueError("labels must map every vertex of g")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_new):
+        raise ValueError("label out of range")
+    u = labels[g.u]
+    v = labels[g.v]
+    keep = u != v
+    return EdgeList(n_new, u[keep], v[keep], g.w[keep], validate=False)
+
+
+def combine_parallel_edges(g: EdgeList) -> EdgeList:
+    """Merge parallel edges, summing their weights (sorted-key combine)."""
+    if g.m == 0:
+        return g.copy()
+    key = g.u * np.int64(g.n) + g.v  # canonical form guarantees u <= v
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    starts = np.flatnonzero(np.r_[True, key_sorted[1:] != key_sorted[:-1]])
+    w = np.add.reduceat(g.w[order], starts)
+    u = g.u[order][starts]
+    v = g.v[order][starts]
+    return EdgeList(g.n, u, v, w, canonical=False, validate=False)
+
+
+def contract_edges(g: EdgeList, edge_index: np.ndarray) -> tuple[EdgeList, np.ndarray]:
+    """Contract the edges at ``edge_index`` (bulk), combining parallel edges.
+
+    Returns ``(contracted_graph, labels)`` where ``labels[x]`` is the new id
+    (``0..n'-1``) of original vertex ``x``.  Contracting never decreases the
+    minimum cut value (§2.4).
+    """
+    labels, n_new = components_from_edges(g.n, g.u[edge_index], g.v[edge_index])
+    h = relabel_edges(g, labels, n_new)
+    return combine_parallel_edges(h), labels
+
+
+def union_find_components(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Union–find over the edge set; returns a root id per vertex.
+
+    Path-halving with union by size.  Root ids are arbitrary vertex ids;
+    use :func:`compress_labels` for dense ``0..k-1`` labels.
+    """
+    parent = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in zip(u.tolist(), v.tolist()):
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            continue
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        parent[rb] = ra
+        size[ra] += size[rb]
+
+    # Final full compression so every vertex points at its root.
+    for x in range(n):
+        parent[x] = find(x)
+    return parent
+
+
+def compress_labels(roots: np.ndarray) -> tuple[np.ndarray, int]:
+    """Map arbitrary root ids to dense labels ``0..k-1`` (order-preserving)."""
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64), int(uniq.size)
+
+
+def components_from_edges(
+    n: int, u: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Connected components of ``(range(n), edges)``: dense labels + count.
+
+    Uses scipy's compiled traversal; labels are assigned in order of first
+    appearance, so the output is deterministic.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.size == 0:
+        return np.arange(n, dtype=np.int64), n
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components as _cc
+
+    adj = coo_matrix(
+        (np.ones(u.size, dtype=np.int8), (u, v)), shape=(n, n)
+    )
+    count, labels = _cc(adj, directed=False)
+    return labels.astype(np.int64), int(count)

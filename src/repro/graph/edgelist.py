@@ -1,0 +1,261 @@
+"""Weighted edge-array graph representation.
+
+An :class:`EdgeList` is the sequential building block of the paper's
+*distributed array of edges*: three parallel numpy arrays ``(u, v, w)`` plus
+an explicit vertex count.  Vertices are ``0..n-1``; edges are undirected and
+may appear as parallel duplicates (multigraph) — the bulk-contraction
+routines combine them.  Self-loops are disallowed except transiently inside
+contraction, which strips them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["EdgeList"]
+
+
+class EdgeList:
+    """An undirected weighted multigraph stored as parallel edge arrays.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertex ids are ``0..n-1``.
+    u, v:
+        Endpoint arrays (``int64``), one entry per edge.
+    w:
+        Edge weights (``float64``); must be positive.
+    canonical:
+        If true, normalize so that ``u <= v`` per edge (cheap, vectorized).
+    """
+
+    __slots__ = ("n", "u", "v", "w")
+
+    def __init__(
+        self,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray | None = None,
+        *,
+        canonical: bool = True,
+        validate: bool = True,
+    ):
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if w is None:
+            w = np.ones(u.size, dtype=np.float64)
+        else:
+            w = np.asarray(w, dtype=np.float64)
+        if validate:
+            if n < 0:
+                raise ValueError(f"vertex count must be non-negative, got {n}")
+            if not (u.shape == v.shape == w.shape) or u.ndim != 1:
+                raise ValueError("u, v, w must be 1-D arrays of equal length")
+            if u.size and (u.min() < 0 or v.min() < 0 or max(u.max(), v.max()) >= n):
+                raise ValueError("edge endpoint out of range")
+            if np.any(u == v):
+                raise ValueError("self-loops are not allowed in an EdgeList")
+            if np.any(w <= 0):
+                raise ValueError("edge weights must be positive")
+        if canonical and u.size:
+            swap = u > v
+            if swap.any():
+                u = u.copy()
+                v = v.copy()
+                u[swap], v[swap] = v[swap].copy(), u[swap].copy()
+        self.n = int(n)
+        self.u = u
+        self.v = v
+        self.w = w
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls, n: int, pairs: Iterable[Tuple[int, int]] | Iterable[Tuple[int, int, float]]
+    ) -> "EdgeList":
+        """Build from an iterable of ``(u, v)`` or ``(u, v, w)`` tuples."""
+        rows = list(pairs)
+        if not rows:
+            return cls.empty(n)
+        if len(rows[0]) == 2:
+            u, v = zip(*rows)
+            w = None
+        else:
+            u, v, w = zip(*rows)
+        return cls(n, np.array(u), np.array(v), None if w is None else np.array(w))
+
+    @classmethod
+    def empty(cls, n: int) -> "EdgeList":
+        """Graph with ``n`` vertices and no edges."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(n, z, z, np.zeros(0, dtype=np.float64))
+
+    @classmethod
+    def from_networkx(cls, graph) -> "EdgeList":
+        """Convert a networkx (Multi)Graph; nodes are renumbered ``0..n-1``.
+
+        Edge ``weight`` attributes are honoured (default 1.0); parallel
+        edges of a MultiGraph are kept as parallel entries.
+        """
+        nodes = list(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        rows = []
+        for a, b, data in graph.edges(data=True):
+            if a == b:
+                continue  # self-loops carry no cut/component information
+            rows.append((index[a], index[b], float(data.get("weight", 1.0))))
+        if not rows:
+            return cls.empty(len(nodes))
+        u, v, w = zip(*rows)
+        return cls(len(nodes), np.array(u), np.array(v), np.array(w))
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of (possibly parallel) edges."""
+        return int(self.u.size)
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(self.w.sum())
+
+    def average_degree(self) -> float:
+        """Average degree d = 2m/n (counting parallel edges)."""
+        return 2.0 * self.m / self.n if self.n else 0.0
+
+    def degrees(self) -> np.ndarray:
+        """Unweighted degree of every vertex (parallel edges count)."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.u, 1)
+        np.add.at(deg, self.v, 1)
+        return deg
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Total incident edge weight of every vertex."""
+        deg = np.zeros(self.n, dtype=np.float64)
+        np.add.at(deg, self.u, self.w)
+        np.add.at(deg, self.v, self.w)
+        return deg
+
+    def copy(self) -> "EdgeList":
+        """Deep copy (all edge arrays are duplicated)."""
+        return EdgeList(
+            self.n, self.u.copy(), self.v.copy(), self.w.copy(),
+            canonical=False, validate=False,
+        )
+
+    def select(self, index: np.ndarray) -> "EdgeList":
+        """Sub-multigraph keeping the edges at ``index`` (same vertex set)."""
+        return EdgeList(
+            self.n, self.u[index], self.v[index], self.w[index],
+            canonical=False, validate=False,
+        )
+
+    def slices(self, p: int) -> list["EdgeList"]:
+        """Split the edge array into ``p`` contiguous slices of O(m/p) edges.
+
+        This is exactly the paper's initial distribution of the edge array
+        over processors (order arbitrary, balanced counts).
+        """
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        bounds = np.linspace(0, self.m, p + 1).astype(np.int64)
+        return [
+            EdgeList(
+                self.n,
+                self.u[bounds[i]:bounds[i + 1]],
+                self.v[bounds[i]:bounds[i + 1]],
+                self.w[bounds[i]:bounds[i + 1]],
+                canonical=False,
+                validate=False,
+            )
+            for i in range(p)
+        ]
+
+    def cut_value(self, side: np.ndarray) -> float:
+        """Weight of the cut defined by boolean membership array ``side``.
+
+        ``side[x]`` is true iff vertex ``x`` is inside the cut.  Raises if the
+        cut is empty or the whole vertex set (not a proper subset).
+        """
+        side = np.asarray(side, dtype=bool)
+        if side.shape != (self.n,):
+            raise ValueError("side must be a boolean array of length n")
+        k = int(side.sum())
+        if k == 0 or k == self.n:
+            raise ValueError("a cut must be a nonempty proper subset of V")
+        crossing = side[self.u] != side[self.v]
+        return float(self.w[crossing].sum())
+
+    def permute_edges(self, rng: np.random.Generator) -> "EdgeList":
+        """Random permutation of the edge array (vertices untouched)."""
+        perm = rng.permutation(self.m)
+        return self.select(perm)
+
+    def induced(self, vertices: np.ndarray) -> tuple["EdgeList", np.ndarray]:
+        """Induced subgraph on ``vertices`` with a local renumbering.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original
+        id of the subgraph's vertex ``i`` (i.e. ``vertices`` as an array).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size and (vertices.min() < 0 or vertices.max() >= self.n):
+            raise ValueError("vertex id out of range")
+        if np.unique(vertices).size != vertices.size:
+            raise ValueError("vertices must be distinct")
+        local = -np.ones(self.n, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size)
+        keep = (local[self.u] >= 0) & (local[self.v] >= 0)
+        sub = EdgeList(
+            vertices.size, local[self.u[keep]], local[self.v[keep]],
+            self.w[keep], canonical=True, validate=False,
+        )
+        return sub, vertices
+
+    def degree_statistics(self) -> dict:
+        """Degree-distribution summary (family fingerprints used in §5)."""
+        deg = self.degrees()
+        if deg.size == 0:
+            return {"min": 0, "max": 0, "mean": 0.0, "median": 0.0, "std": 0.0}
+        return {
+            "min": int(deg.min()),
+            "max": int(deg.max()),
+            "mean": float(deg.mean()),
+            "median": float(np.median(deg)),
+            "std": float(deg.std()),
+        }
+
+    def as_tuples(self) -> list[tuple[int, int, float]]:
+        """Edges as python tuples (test/debug helper)."""
+        return list(zip(self.u.tolist(), self.v.tolist(), self.w.tolist()))
+
+    def to_networkx(self):
+        """Convert to a ``networkx.MultiGraph`` (validation helper)."""
+        import networkx as nx
+
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(self.n))
+        g.add_weighted_edges_from(self.as_tuples())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeList(n={self.n}, m={self.m}, W={self.total_weight():g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.u, other.u)
+            and np.array_equal(self.v, other.v)
+            and np.array_equal(self.w, other.w)
+        )
+
+    def __hash__(self):  # EdgeList is mutable through its arrays
+        raise TypeError("EdgeList is unhashable")

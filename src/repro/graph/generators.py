@@ -1,0 +1,337 @@
+"""Synthetic graph generators used by the paper's evaluation (§5).
+
+Four random families with distinct degree and spectral properties:
+
+* Erdős–Rényi ``G(n, M)`` (Poisson degrees),
+* Watts–Strogatz small-world graphs (edge rewiring probability 0.3),
+* Barabási–Albert scale-free graphs,
+* R-MAT graphs with ``a = 0.45, b = c = 0.22`` (power-law-ish, skewed).
+
+plus deterministic corner cases with known minimum cuts and component
+counts, mirroring the artifact's ``verification_graphs.sh`` suite.
+
+All generators are vectorized, take an explicit ``numpy.random.Generator``
+and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.graph.contract import combine_parallel_edges
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "erdos_renyi",
+    "watts_strogatz",
+    "barabasi_albert",
+    "rmat",
+    "grid_graph",
+    "ring_of_cliques",
+    "two_cliques_bridge",
+    "weighted_cycle",
+    "star_graph",
+    "complete_graph",
+    "VerificationCase",
+    "verification_suite",
+]
+
+
+def _dedupe_pairs(n: int, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalize to u<v, drop loops and duplicate pairs."""
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    code = lo * np.int64(n) + hi
+    code = np.unique(code)
+    return code // n, code % n
+
+
+def erdos_renyi(
+    n: int, m: int, rng: np.random.Generator, *, weighted: bool = False
+) -> EdgeList:
+    """Erdős–Rényi ``G(n, M)``: exactly ``m`` distinct uniform edges.
+
+    With ``weighted=True``, weights are uniform integers in ``1..8``
+    (otherwise unit).  Rejection-samples batches until ``m`` distinct
+    non-loop pairs are collected.
+    """
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds maximum simple-graph size {max_m}")
+    got = np.zeros(0, dtype=np.int64)
+    while got.size < m:
+        need = m - got.size
+        batch = max(64, int(need * 1.2))
+        u = rng.integers(0, n, size=batch, dtype=np.int64)
+        v = rng.integers(0, n, size=batch, dtype=np.int64)
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        keep = lo != hi
+        code = lo[keep] * np.int64(n) + hi[keep]
+        got = np.unique(np.concatenate([got, code]))
+    if got.size > m:
+        got = rng.permutation(got)[:m]
+    u, v = got // n, got % n
+    w = rng.integers(1, 9, size=m).astype(np.float64) if weighted else None
+    return EdgeList(n, u, v, w)
+
+
+def watts_strogatz(
+    n: int, k: int, rng: np.random.Generator, *, rewire_p: float = 0.3
+) -> EdgeList:
+    """Watts–Strogatz small-world graph (ring lattice + rewiring).
+
+    Each vertex starts connected to its ``k`` nearest neighbours (``k`` must
+    be even); each edge's far endpoint is rewired with probability
+    ``rewire_p`` (0.3 in the paper).  Duplicate edges created by rewiring are
+    dropped, matching the usual construction.
+    """
+    if k % 2 != 0:
+        raise ValueError(f"k must be even, got {k}")
+    if not 0 <= rewire_p <= 1:
+        raise ValueError(f"rewire_p must be in [0,1], got {rewire_p}")
+    if k >= n:
+        raise ValueError(f"need k < n, got k={k}, n={n}")
+    src_parts = []
+    dst_parts = []
+    base = np.arange(n, dtype=np.int64)
+    for j in range(1, k // 2 + 1):
+        src_parts.append(base)
+        dst_parts.append((base + j) % n)
+    u = np.concatenate(src_parts)
+    v = np.concatenate(dst_parts)
+    rewired = rng.random(u.size) < rewire_p
+    v = v.copy()
+    v[rewired] = rng.integers(0, n, size=int(rewired.sum()), dtype=np.int64)
+    uu, vv = _dedupe_pairs(n, u, v)
+    return EdgeList(n, uu, vv)
+
+
+def barabasi_albert(n: int, k: int, rng: np.random.Generator) -> EdgeList:
+    """Barabási–Albert preferential attachment with ``k`` edges per vertex.
+
+    Implemented with the classic repeated-endpoints trick: a vertex is chosen
+    proportionally to its degree by uniform sampling from the endpoint list
+    of the edges so far.
+    """
+    if not 1 <= k < n:
+        raise ValueError(f"need 1 <= k < n, got k={k}, n={n}")
+    # Final edge count is (n - k) * k; endpoints list holds 2 entries/edge.
+    m_final = (n - k) * k
+    endpoints = np.empty(2 * m_final, dtype=np.int64)
+    u_out = np.empty(m_final, dtype=np.int64)
+    v_out = np.empty(m_final, dtype=np.int64)
+    filled = 0  # entries used in `endpoints`
+    m = 0
+    for new in range(k, n):
+        if filled == 0:
+            targets = np.arange(k, dtype=np.int64)  # seed star over 0..k-1
+        else:
+            # Sample k distinct targets by degree; retry duplicates in bulk.
+            targets = np.unique(endpoints[rng.integers(0, filled, size=k)])
+            while targets.size < k:
+                extra = endpoints[rng.integers(0, filled, size=k)]
+                targets = np.unique(np.concatenate([targets, extra]))[:k]
+        u_out[m:m + k] = new
+        v_out[m:m + k] = targets
+        endpoints[filled:filled + k] = new
+        endpoints[filled + k:filled + 2 * k] = targets
+        filled += 2 * k
+        m += k
+    return EdgeList(n, u_out, v_out)
+
+
+def rmat(
+    n: int,
+    m: int,
+    rng: np.random.Generator,
+    *,
+    a: float = 0.45,
+    b: float = 0.22,
+    c: float = 0.22,
+    simple: bool = True,
+) -> EdgeList:
+    """R-MAT graph (Chakrabarti et al.): recursive quadrant subdivision.
+
+    ``n`` is rounded up to a power of two internally for quadrant splitting;
+    endpoints are taken modulo ``n``.  With ``simple=True``, loops and
+    duplicates are dropped (so the returned ``m`` can be slightly smaller,
+    and is topped up by re-drawing until within 2% or no progress is made).
+    The paper's parameters are ``a=0.45, b=c=0.22`` (``d = 0.11``).
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+
+    def draw(count: int) -> tuple[np.ndarray, np.ndarray]:
+        u = np.zeros(count, dtype=np.int64)
+        v = np.zeros(count, dtype=np.int64)
+        for _ in range(levels):
+            r = rng.random(count)
+            right = (r >= a) & (r < a + b) | (r >= a + b + c)  # quadrants b, d
+            down = r >= a + b  # quadrants c, d
+            u = 2 * u + down
+            v = 2 * v + right
+        return u % n, v % n
+
+    if not simple:
+        u, v = draw(m)
+        keep = u != v
+        return combine_parallel_edges(EdgeList(n, u[keep], v[keep]))
+
+    u, v = draw(m)
+    uu, vv = _dedupe_pairs(n, u, v)
+    for _ in range(16):
+        if uu.size >= m * 0.98:
+            break
+        eu, ev = draw(m - uu.size + 16)
+        cat_u = np.concatenate([uu, eu])
+        cat_v = np.concatenate([vv, ev])
+        new_u, new_v = _dedupe_pairs(n, cat_u, cat_v)
+        if new_u.size == uu.size:
+            break  # saturated: the skewed quadrants can't produce new pairs
+        uu, vv = new_u, new_v
+    if uu.size > m:
+        idx = rng.permutation(uu.size)[:m]
+        uu, vv = uu[idx], vv[idx]
+    return EdgeList(n, uu, vv)
+
+
+def grid_graph(rows: int, cols: int) -> EdgeList:
+    """2-D 4-neighbour grid (image-processing workload shape)."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_u = ids[:, :-1].ravel()
+    right_v = ids[:, 1:].ravel()
+    down_u = ids[:-1, :].ravel()
+    down_v = ids[1:, :].ravel()
+    return EdgeList(
+        rows * cols,
+        np.concatenate([right_u, down_u]),
+        np.concatenate([right_v, down_v]),
+    )
+
+
+def complete_graph(n: int, *, weight: float = 1.0) -> EdgeList:
+    """K_n with uniform weights; minimum cut is ``(n-1) * weight``."""
+    iu, iv = np.triu_indices(n, k=1)
+    return EdgeList(n, iu.astype(np.int64), iv.astype(np.int64),
+                    np.full(iu.size, weight))
+
+
+def star_graph(n: int, *, weight: float = 1.0) -> EdgeList:
+    """Star on ``n`` vertices; minimum cut is ``weight`` (any leaf)."""
+    if n < 2:
+        raise ValueError("star needs at least 2 vertices")
+    hub = np.zeros(n - 1, dtype=np.int64)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return EdgeList(n, hub, leaves, np.full(n - 1, weight))
+
+
+def weighted_cycle(n: int, weights: np.ndarray | None = None) -> EdgeList:
+    """Cycle; minimum cut = sum of the two smallest edge weights."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    if w is not None and w.shape != (n,):
+        raise ValueError("need one weight per cycle edge")
+    return EdgeList(n, u, v, w)
+
+
+def two_cliques_bridge(k: int, *, bridge_weight: float = 1.0,
+                       bridges: int = 1) -> EdgeList:
+    """Two K_k cliques joined by ``bridges`` unit edges.
+
+    Minimum cut = ``bridges * bridge_weight`` for k large enough
+    (k - 1 > bridges * bridge_weight); the canonical mincut corner case.
+    """
+    if k < 2:
+        raise ValueError("cliques need at least 2 vertices")
+    if bridges > k:
+        raise ValueError("at most k bridges supported")
+    iu, iv = np.triu_indices(k, k=1)
+    u = np.concatenate([iu, iu + k, np.arange(bridges)])
+    v = np.concatenate([iv, iv + k, np.arange(bridges) + k])
+    w = np.concatenate([
+        np.ones(2 * iu.size),
+        np.full(bridges, bridge_weight),
+    ])
+    return EdgeList(2 * k, u.astype(np.int64), v.astype(np.int64), w)
+
+
+def ring_of_cliques(cliques: int, k: int) -> EdgeList:
+    """``cliques`` copies of K_k arranged in a ring with unit links.
+
+    Minimum cut = 2 (cut the two ring links around any clique) when
+    k - 1 > 2; the graph is connected with one component.
+    """
+    if cliques < 3:
+        raise ValueError("need at least 3 cliques for a ring")
+    iu, iv = np.triu_indices(k, k=1)
+    us, vs = [], []
+    for c in range(cliques):
+        us.append(iu + c * k)
+        vs.append(iv + c * k)
+    link_u = np.arange(cliques, dtype=np.int64) * k  # vertex 0 of each clique
+    link_v = ((np.arange(cliques, dtype=np.int64) + 1) % cliques) * k + 1
+    u = np.concatenate(us + [link_u])
+    v = np.concatenate(vs + [link_v])
+    return EdgeList(cliques * k, u.astype(np.int64), v.astype(np.int64))
+
+
+class VerificationCase(NamedTuple):
+    """A corner-case graph with known ground truth."""
+
+    name: str
+    graph: EdgeList
+    mincut: float | None  # None when disconnected (cut value 0 by convention)
+    components: int
+
+
+def verification_suite() -> list[VerificationCase]:
+    """Deterministic corner cases with known cut values and component counts.
+
+    Mirrors the artifact's ``verification_graphs.sh``: graphs whose minimum
+    cut and component structure are known in closed form.
+    """
+    cases = [
+        VerificationCase("triangle", complete_graph(3), 2.0, 1),
+        VerificationCase("k5", complete_graph(5), 4.0, 1),
+        VerificationCase("k8_w3", complete_graph(8, weight=3.0), 21.0, 1),
+        VerificationCase("star10", star_graph(10), 1.0, 1),
+        VerificationCase("cycle6", weighted_cycle(6), 2.0, 1),
+        VerificationCase(
+            "cycle5_weighted",
+            weighted_cycle(5, np.array([5.0, 1.0, 4.0, 2.0, 3.0])),
+            3.0,
+            1,
+        ),
+        VerificationCase("bridge_k6", two_cliques_bridge(6), 1.0, 1),
+        VerificationCase(
+            "bridge_k6_w4", two_cliques_bridge(6, bridge_weight=4.0), 4.0, 1
+        ),
+        VerificationCase("bridge_k7_x3", two_cliques_bridge(7, bridges=3), 3.0, 1),
+        VerificationCase("ring_4x5", ring_of_cliques(4, 5), 2.0, 1),
+        VerificationCase("path4", EdgeList.from_pairs(4, [(0, 1), (1, 2), (2, 3)]), 1.0, 1),
+        VerificationCase(
+            "two_triangles",
+            EdgeList.from_pairs(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]),
+            None,
+            2,
+        ),
+        VerificationCase("isolated", EdgeList.empty(5), None, 5),
+        VerificationCase(
+            "dumbbell_parallel",
+            EdgeList.from_pairs(
+                4, [(0, 1, 5.0), (2, 3, 5.0), (1, 2, 1.0), (1, 2, 1.0)]
+            ),
+            2.0,
+            1,
+        ),
+    ]
+    return cases

@@ -1,0 +1,102 @@
+"""Dense weighted adjacency-matrix graphs.
+
+The Recursive Step of the exact minimum-cut algorithm works on graphs that
+become arbitrarily dense under contraction, so the paper switches to a
+distributed adjacency matrix there (§3, §4.3).  This module provides the
+sequential matrix graph; the row-sliced distribution lives in the BSP
+algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["AdjacencyMatrix"]
+
+
+class AdjacencyMatrix:
+    """Symmetric weighted adjacency matrix with a zero diagonal.
+
+    ``a[i, j]`` is the combined weight of all edges between ``i`` and ``j``
+    (parallel edges are merged on construction).
+    """
+
+    __slots__ = ("a",)
+
+    def __init__(self, a: np.ndarray, *, validate: bool = True):
+        a = np.asarray(a, dtype=np.float64)
+        if validate:
+            if a.ndim != 2 or a.shape[0] != a.shape[1]:
+                raise ValueError("adjacency matrix must be square")
+            if not np.allclose(a, a.T):
+                raise ValueError("adjacency matrix must be symmetric")
+            if np.any(np.diagonal(a) != 0):
+                raise ValueError("diagonal must be zero (no self-loops)")
+            if np.any(a < 0):
+                raise ValueError("weights must be non-negative")
+        self.a = a
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return int(self.a.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of distinct (combined) edges."""
+        return int(np.count_nonzero(np.triu(self.a)))
+
+    def total_weight(self) -> float:
+        """Sum of all (combined) edge weights."""
+        return float(np.triu(self.a).sum())
+
+    @classmethod
+    def from_edgelist(cls, g: EdgeList) -> "AdjacencyMatrix":
+        """Combine parallel edges of ``g`` into a dense matrix."""
+        a = np.zeros((g.n, g.n), dtype=np.float64)
+        np.add.at(a, (g.u, g.v), g.w)
+        np.add.at(a, (g.v, g.u), g.w)
+        return cls(a, validate=False)
+
+    def to_edgelist(self) -> EdgeList:
+        """Upper-triangle nonzeros as an edge list."""
+        iu, iv = np.nonzero(np.triu(self.a))
+        return EdgeList(self.n, iu, iv, self.a[iu, iv], canonical=False, validate=False)
+
+    def copy(self) -> "AdjacencyMatrix":
+        """Deep copy (the weight matrix is duplicated)."""
+        return AdjacencyMatrix(self.a.copy(), validate=False)
+
+    def contract(self, labels: np.ndarray, n_new: int) -> "AdjacencyMatrix":
+        """Dense bulk edge contraction (§4.1, sequential reference).
+
+        Sums the rows and then the columns of vertices mapped to the same
+        label, and zeroes the diagonal — exactly the paper's two-pass
+        row/column combine.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (self.n,):
+            raise ValueError("labels must map every vertex")
+        if labels.size and (labels.min() < 0 or labels.max() >= n_new):
+            raise ValueError("label out of range")
+        rows = np.zeros((n_new, self.n), dtype=np.float64)
+        np.add.at(rows, labels, self.a)
+        out = np.zeros((n_new, n_new), dtype=np.float64)
+        np.add.at(out.T, labels, rows.T)  # column pass == row pass on transpose
+        np.fill_diagonal(out, 0.0)
+        return AdjacencyMatrix(out, validate=False)
+
+    def cut_value(self, side: np.ndarray) -> float:
+        """Weight of the cut given a boolean membership array."""
+        side = np.asarray(side, dtype=bool)
+        if side.shape != (self.n,):
+            raise ValueError("side must be a boolean array of length n")
+        k = int(side.sum())
+        if k == 0 or k == self.n:
+            raise ValueError("a cut must be a nonempty proper subset of V")
+        return float(self.a[np.ix_(side, ~side)].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdjacencyMatrix(n={self.n}, W={self.total_weight():g})"

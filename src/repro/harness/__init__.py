@@ -1,0 +1,22 @@
+"""Experiment harness: repetition/median/CI methodology and reporting.
+
+Mirrors the artifact's measurement discipline (§5 "Methodology"): every
+datapoint is the median of several executions with fresh seeds, validated
+by a nonparametric 95% confidence interval on the median; each execution's
+metric is the maximum over participating processors (which is what the BSP
+counters already report).
+"""
+
+from repro.harness.experiment import measure, median_ci, Datapoint
+from repro.harness.report import Series, format_table, write_experiment_record
+from repro.harness.asciiplot import ascii_chart
+
+__all__ = [
+    "measure",
+    "median_ci",
+    "Datapoint",
+    "Series",
+    "format_table",
+    "write_experiment_record",
+    "ascii_chart",
+]

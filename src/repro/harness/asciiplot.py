@@ -1,0 +1,106 @@
+"""Dependency-free ASCII charts for the regenerated experiment series.
+
+The artifact post-processes its CSVs with R/ggplot; offline we render the
+same series as terminal charts so scaling shapes are visible directly in
+benchmark output and in EXPERIMENTS.md (fenced code blocks).
+
+Only scatter/line charts are needed: x is the sweep axis (cores, n, m),
+one glyph per series, optional log-log scaling for the scaling plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox*+#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log scale requires positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render ``series`` (name -> y values over the shared ``x``) as text.
+
+    Returns a multi-line string: title, plot canvas with y-axis bounds, an
+    x-axis line with its bounds, and a glyph legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    xs = [float(v) for v in x]
+    if len(xs) < 2:
+        raise ValueError("need at least two x positions")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} does not align with x")
+
+    tx = [_transform(v, logx) for v in xs]
+    ty = {
+        name: [_transform(float(v), logy) for v in ys]
+        for name, ys in series.items()
+    }
+    x_lo, x_hi = min(tx), max(tx)
+    all_y = [v for ys in ty.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for xv, yv in zip(tx, ty[name]):
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[height - 1 - row][col] = glyph
+
+    def fmt(v: float, log: bool) -> str:
+        raw = 10 ** v if log else v
+        if raw != 0 and (abs(raw) >= 1e4 or abs(raw) < 1e-3):
+            return f"{raw:.2e}"
+        return f"{raw:.4g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = fmt(y_hi, logy)
+    y_bot = fmt(y_lo, logy)
+    margin = max(len(y_top), len(y_bot))
+    for i, row in enumerate(canvas):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    x_left = fmt(x_lo, logx)
+    x_right = fmt(x_hi, logx)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (margin + 2) + x_left + " " * max(pad, 1) + x_right)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    scale = []
+    if logx:
+        scale.append("log x")
+    if logy:
+        scale.append("log y")
+    suffix = f"   [{', '.join(scale)}]" if scale else ""
+    lines.append(legend + suffix)
+    return "\n".join(lines)

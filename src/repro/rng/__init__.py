@@ -1,0 +1,25 @@
+"""Counter-based parallel pseudo-random number generation.
+
+The paper's artifact uses the Philox counter-based PRNG of Salmon et al.
+(SC'11) to guarantee uncorrelated streams across MPI ranks, with one fresh
+root seed per execution.  We mirror that design: a single :class:`SeedSequence`
+root is split into one independent Philox stream per virtual processor, so the
+whole execution is a deterministic function of the root seed.
+"""
+
+from repro.rng.streams import RngStreams, philox_stream
+from repro.rng.sampling import (
+    CumulativeWeightSampler,
+    AliasSampler,
+    multinomial_split,
+    sample_without_replacement,
+)
+
+__all__ = [
+    "RngStreams",
+    "philox_stream",
+    "CumulativeWeightSampler",
+    "AliasSampler",
+    "multinomial_split",
+    "sample_without_replacement",
+]

@@ -1,0 +1,137 @@
+"""Weighted sampling primitives used by sparsification.
+
+The paper samples edges *with replacement*, each edge chosen with probability
+proportional to its weight (§3.1).  After a linear-time preprocessing step a
+sample takes O(log n) time (binary search over cumulative weights, as in
+Karger–Stein §5); the alias method gives O(1) per sample and is used where
+the distribution is reused many times.  ``multinomial_split`` implements the
+root's step 2 of the sparsification schedule: distributing the ``s`` sample
+slots over processors proportionally to their slice weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CumulativeWeightSampler",
+    "AliasSampler",
+    "multinomial_split",
+    "sample_without_replacement",
+]
+
+
+class CumulativeWeightSampler:
+    """Sample indices with probability proportional to ``weights``.
+
+    Linear-time preprocessing (a prefix-sum), O(log n) per sample via binary
+    search — the scheme the paper cites from Karger–Stein [25, §5].
+    Vectorized: drawing ``k`` samples costs one uniform batch plus one
+    ``searchsorted``.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError("weights must be one-dimensional")
+        if weights.size == 0:
+            raise ValueError("cannot sample from an empty weight vector")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        self._cumulative = np.cumsum(weights)
+        self.total = float(self._cumulative[-1])
+        if self.total <= 0:
+            raise ValueError("total weight must be positive")
+
+    def __len__(self) -> int:
+        return int(self._cumulative.size)
+
+    def sample(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Draw ``k`` indices i.i.d. proportionally to the weights."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        u = rng.random(k) * self.total
+        return np.searchsorted(self._cumulative, u, side="right").astype(np.int64)
+
+
+class AliasSampler:
+    """Walker's alias method: O(n) preprocessing, O(1) per sample.
+
+    Used when a weight distribution is sampled many more times than its size
+    (e.g. repeated contraction trials over the same graph copy).
+    """
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        n = weights.size
+        prob = weights * (n / total)
+        alias = np.zeros(n, dtype=np.int64)
+        accept = np.ones(n, dtype=np.float64)
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            accept[s] = prob[s]
+            alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Remaining entries keep accept == 1 (numerical leftovers).
+        self._accept = accept
+        self._alias = alias
+        self.total = float(total)
+
+    def __len__(self) -> int:
+        return int(self._accept.size)
+
+    def sample(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Draw ``k`` indices i.i.d. proportionally to the weights."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        n = self._accept.size
+        idx = rng.integers(0, n, size=k)
+        u = rng.random(k)
+        take_alias = u >= self._accept[idx]
+        out = idx.copy()
+        out[take_alias] = self._alias[idx[take_alias]]
+        return out.astype(np.int64)
+
+
+def multinomial_split(
+    rng: np.random.Generator, total: int, weights: np.ndarray
+) -> np.ndarray:
+    """Distribute ``total`` sample slots over bins proportionally to weights.
+
+    This is step 2 of the paper's sparsification schedule: the root draws,
+    for each of the ``s`` sample positions, the processor that will provide
+    the edge, with probability W_i / sum_z W_z.  Returns the per-bin counts
+    K_1..K_p (which are jointly multinomial).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    wsum = weights.sum()
+    if wsum <= 0:
+        raise ValueError("total weight must be positive")
+    return rng.multinomial(total, weights / wsum).astype(np.int64)
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, k: int
+) -> np.ndarray:
+    """Uniform sample of ``k`` distinct indices from ``range(population)``."""
+    if not 0 <= k <= population:
+        raise ValueError(f"need 0 <= k <= population, got k={k}, population={population}")
+    return rng.choice(population, size=k, replace=False).astype(np.int64)

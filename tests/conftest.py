@@ -1,0 +1,57 @@
+"""Shared fixtures: deterministic RNGs and a zoo of small graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EdgeList,
+    erdos_renyi,
+    two_cliques_bridge,
+    watts_strogatz,
+)
+from repro.rng import philox_stream
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator for each test."""
+    return philox_stream(12345)
+
+
+@pytest.fixture
+def small_er(rng):
+    """Small Erdős–Rényi graph with a few components."""
+    return erdos_renyi(200, 300, rng)
+
+
+@pytest.fixture
+def small_er_weighted(rng):
+    """Small weighted connected-ish ER graph."""
+    return erdos_renyi(60, 400, rng, weighted=True)
+
+
+@pytest.fixture
+def small_ws(rng):
+    """Connected small-world graph."""
+    return watts_strogatz(128, 6, rng)
+
+
+@pytest.fixture
+def bridge_graph():
+    """Two K8 cliques joined by one weight-2 bridge (min cut 2)."""
+    return two_cliques_bridge(8, bridge_weight=2.0)
+
+
+@pytest.fixture
+def tiny_path():
+    """Path on 4 vertices (min cut 1, one component)."""
+    return EdgeList.from_pairs(4, [(0, 1), (1, 2), (2, 3)])
+
+
+def assert_same_partition(g: EdgeList, labels_a: np.ndarray, labels_b: np.ndarray):
+    """Two labelings describe the same partition iff they agree pairwise on
+    edges *and* have the same number of classes."""
+    assert np.unique(labels_a).size == np.unique(labels_b).size
+    same_a = labels_a[g.u] == labels_a[g.v]
+    same_b = labels_b[g.u] == labels_b[g.v]
+    assert (same_a == same_b).all()

@@ -1,0 +1,61 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o a" in lines[-1]
+        assert any("o" in ln for ln in lines[1:-1])
+
+    def test_bounds_labels(self):
+        out = ascii_chart([1, 10], {"a": [5.0, 50.0]})
+        assert "50" in out
+        assert "5" in out
+        assert "10" in out
+
+    def test_multiple_series_glyphs(self):
+        out = ascii_chart([1, 2], {"a": [1, 2], "b": [2, 1], "c": [1, 1]})
+        legend = out.splitlines()[-1]
+        assert "o a" in legend and "x b" in legend and "* c" in legend
+
+    def test_log_scale_marks(self):
+        out = ascii_chart([1, 100], {"a": [1.0, 1000.0]}, logx=True, logy=True)
+        assert "[log x, log y]" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [1, 2]}, logx=True)
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [0, 2]}, logy=True)
+
+    def test_constant_series(self):
+        out = ascii_chart([1, 2, 3], {"a": [7.0, 7.0, 7.0]})
+        assert "7" in out  # degenerate y-range handled
+
+    def test_misaligned_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+
+    def test_canvas_too_small(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1, 2]}, width=4)
+
+    def test_dimensions(self):
+        out = ascii_chart([1, 2], {"a": [1, 2]}, width=30, height=8)
+        rows = [ln for ln in out.splitlines() if "|" in ln]
+        assert len(rows) == 8
+        assert all(len(ln.split("|", 1)[1]) == 30 for ln in rows)

@@ -1,0 +1,110 @@
+"""Tests for the connected-components baselines (BGL, Galois, PBGL)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import bgl_cc, galois_cc, galois_cc_parallel, pbgl_cc
+from repro.baselines.cc_bfs import build_csr
+from repro.cache import LRUTracker
+from repro.graph import EdgeList, erdos_renyi, grid_graph, verification_suite, watts_strogatz
+from repro.graph.validate import networkx_components
+from repro.rng import philox_stream
+from tests.conftest import assert_same_partition
+
+
+class TestBuildCSR:
+    def test_degrees(self):
+        g = EdgeList.from_pairs(4, [(0, 1), (1, 2), (1, 3)])
+        xadj, adj = build_csr(g)
+        assert (np.diff(xadj) == g.degrees()).all()
+        assert adj.size == 2 * g.m
+
+    def test_neighbours(self):
+        g = EdgeList.from_pairs(3, [(0, 1), (1, 2)])
+        xadj, adj = build_csr(g)
+        assert set(adj[xadj[1]:xadj[2]].tolist()) == {0, 2}
+
+
+class TestBGL:
+    def test_matches_networkx(self, small_er):
+        labels, count = bgl_cc(small_er)
+        assert count == networkx_components(small_er)
+        assert (labels[small_er.u] == labels[small_er.v]).all()
+
+    def test_labels_dense_and_ordered(self):
+        g = EdgeList.from_pairs(5, [(3, 4)])
+        labels, count = bgl_cc(g)
+        assert count == 4
+        assert labels[0] == 0  # discovery order
+
+    def test_empty(self):
+        labels, count = bgl_cc(EdgeList.empty(3))
+        assert count == 3
+
+    def test_instrumented(self, small_er):
+        mem = LRUTracker(M=1024, B=8)
+        labels, count = bgl_cc(small_er, mem=mem)
+        assert count == networkx_components(small_er)
+        assert mem.miss_count > 0
+        assert mem.op_count > 2 * small_er.m
+
+
+class TestGalois:
+    def test_matches_networkx(self, small_er):
+        labels, count = galois_cc(small_er)
+        assert count == networkx_components(small_er)
+
+    def test_same_partition_as_bgl(self, small_er):
+        la, _ = bgl_cc(small_er)
+        lb, _ = galois_cc(small_er)
+        assert_same_partition(small_er, la, lb)
+
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_parallel_matches(self, small_er, p):
+        labels, count, report, time = galois_cc_parallel(small_er, p=p)
+        assert count == networkx_components(small_er)
+        assert report.supersteps <= 2
+
+    def test_instrumented(self, small_er):
+        mem = LRUTracker(M=1024, B=8)
+        _, count = galois_cc(small_er, mem=mem)
+        assert count == networkx_components(small_er)
+        assert mem.miss_count > 0
+
+
+class TestPBGL:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_matches_networkx(self, small_er, p):
+        labels, count, report, time = pbgl_cc(small_er, p=p)
+        assert count == networkx_components(small_er)
+        assert (labels[small_er.u] == labels[small_er.v]).all()
+
+    def test_graph_families(self):
+        rng = philox_stream(90)
+        for g in (watts_strogatz(100, 4, rng), grid_graph(8, 9),
+                  erdos_renyi(150, 150, rng)):
+            _, count, _, _ = pbgl_cc(g, p=4)
+            assert count == networkx_components(g)
+
+    def test_logarithmic_supersteps(self):
+        """PBGL needs O(log n) rounds — visibly more than the sampling CC."""
+        from repro.core import connected_components
+
+        g = watts_strogatz(512, 4, philox_stream(91))
+        _, _, rep_pbgl, _ = pbgl_cc(g, p=4)
+        rep_cc = connected_components(g, p=4, seed=1).report
+        assert rep_pbgl.supersteps > rep_cc.supersteps
+
+    def test_empty_graph(self):
+        labels, count, _, _ = pbgl_cc(EdgeList.empty(6), p=2)
+        assert count == 6
+
+    def test_single_component(self):
+        g = grid_graph(6, 6)
+        _, count, _, _ = pbgl_cc(g, p=3)
+        assert count == 1
+
+    def test_verification_suite(self):
+        for case in verification_suite():
+            _, count, _, _ = pbgl_cc(case.graph, p=3)
+            assert count == case.components, case.name

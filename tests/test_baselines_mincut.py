@@ -1,0 +1,118 @@
+"""Tests for the minimum-cut baselines (Stoer–Wagner, Karger–Stein)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import karger_stein, stoer_wagner
+from repro.baselines.karger_stein import ks_repetitions
+from repro.cache import LRUTracker
+from repro.graph import (
+    AdjacencyMatrix,
+    EdgeList,
+    complete_graph,
+    erdos_renyi,
+    two_cliques_bridge,
+    verification_suite,
+    weighted_cycle,
+)
+from repro.graph.validate import networkx_components, networkx_mincut
+from repro.rng import philox_stream
+
+
+class TestStoerWagner:
+    def test_verification_suite(self):
+        for case in verification_suite():
+            if case.mincut is None:
+                continue
+            val, side = stoer_wagner(case.graph)
+            assert val == case.mincut, case.name
+            assert case.graph.cut_value(side) == val, case.name
+
+    def test_matches_networkx(self):
+        for seed in range(5):
+            g = erdos_renyi(30, 150, philox_stream(seed + 100), weighted=True)
+            if networkx_components(g) != 1:
+                continue
+            val, side = stoer_wagner(g)
+            assert val == networkx_mincut(g)
+            assert g.cut_value(side) == val
+
+    def test_accepts_matrix_input(self):
+        g = weighted_cycle(8)
+        a = AdjacencyMatrix.from_edgelist(g)
+        val, _ = stoer_wagner(a)
+        assert val == 2.0
+
+    def test_disconnected_zero(self):
+        g = EdgeList.from_pairs(5, [(0, 1), (2, 3)])
+        val, side = stoer_wagner(g)
+        assert val == 0.0
+        assert g.cut_value(side) == 0.0
+
+    def test_deterministic(self):
+        g = erdos_renyi(25, 120, philox_stream(110), weighted=True)
+        assert stoer_wagner(g)[0] == stoer_wagner(g)[0]
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            stoer_wagner(EdgeList.empty(1))
+
+    def test_instrumented_heavy_traffic(self):
+        """SW streams the whole matrix per phase: many more misses than KS
+        on the same input (the Figure 9 contrast)."""
+        g = erdos_renyi(100, 400, philox_stream(111), weighted=True)
+        mem_sw = LRUTracker(M=256, B=8)
+        stoer_wagner(g, mem=mem_sw)
+        mem_ks = LRUTracker(M=256, B=8)
+        karger_stein(g, seed=0, repetitions=1, mem=mem_ks)
+        # SW's n^3-word traffic vs KS's n^2 log n: the gap grows with n.
+        assert mem_sw.miss_count > 1.3 * mem_ks.miss_count
+
+
+class TestKargerSteinBaseline:
+    def test_verification_suite(self):
+        for case in verification_suite():
+            if case.mincut is None:
+                continue
+            val, side = karger_stein(case.graph, seed=7)
+            assert val == case.mincut, case.name
+            assert case.graph.cut_value(side) == val
+
+    def test_matches_stoer_wagner(self):
+        for seed in range(3):
+            g = erdos_renyi(35, 200, philox_stream(seed + 120), weighted=True)
+            if networkx_components(g) != 1:
+                continue
+            assert karger_stein(g, seed=seed)[0] == stoer_wagner(g)[0]
+
+    def test_accepts_matrix(self):
+        a = AdjacencyMatrix.from_edgelist(complete_graph(7))
+        val, _ = karger_stein(a, seed=1)
+        assert val == 6.0
+
+    def test_disconnected_short_circuit(self):
+        g = EdgeList.from_pairs(6, [(0, 1), (3, 4)])
+        val, side = karger_stein(g, seed=2)
+        assert val == 0.0
+        assert g.cut_value(side) == 0.0
+
+    def test_repetitions_formula(self):
+        assert ks_repetitions(2) >= 1
+        assert ks_repetitions(10 ** 6) > ks_repetitions(100)
+        assert ks_repetitions(100, success_prob=0.99) > \
+            ks_repetitions(100, success_prob=0.5)
+        with pytest.raises(ValueError):
+            ks_repetitions(10, success_prob=0)
+
+    def test_repetitions_override(self):
+        g = two_cliques_bridge(5)
+        val, _ = karger_stein(g, seed=3, repetitions=20)
+        assert val == 1.0
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            karger_stein(EdgeList.empty(1))
+
+    def test_deterministic(self):
+        g = erdos_renyi(20, 80, philox_stream(130), weighted=True)
+        assert karger_stein(g, seed=5)[0] == karger_stein(g, seed=5)[0]

@@ -1,0 +1,147 @@
+"""Tests for payload accounting, communicator views, and the machine model."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import CountersReport, MachineModel, fit_model
+from repro.bsp.comm import Communicator, Group, payload_words
+from repro.bsp.counters import ProcCounters
+
+
+class TestPayloadWords:
+    def test_none_is_free(self):
+        assert payload_words(None) == 0
+
+    def test_numpy_counts_elements(self):
+        assert payload_words(np.zeros((3, 4))) == 12
+
+    def test_scalar_is_one(self):
+        assert payload_words(5) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words("x") == 1
+
+    def test_containers_sum(self):
+        assert payload_words([np.zeros(2), 1, None]) == 3
+        assert payload_words((np.zeros(5),)) == 5
+
+    def test_dict(self):
+        assert payload_words({"a": np.zeros(4)}) == 5
+
+    def test_custom_protocol(self):
+        class Weighted:
+            def __bsp_words__(self):
+                return 42
+
+        assert payload_words(Weighted()) == 42
+
+
+class TestCommunicatorView:
+    def test_size_and_rank(self):
+        g = Group(1, (4, 7, 9))
+        c = Communicator(g, 1)
+        assert c.size == 3
+        assert c.rank == 1
+
+    def test_invalid_local_rank(self):
+        g = Group(1, (0, 1))
+        with pytest.raises(ValueError):
+            Communicator(g, 2)
+
+    def test_invalid_root(self):
+        g = Group(1, (0, 1))
+        c = Communicator(g, 0)
+        with pytest.raises(ValueError):
+            c._op("bcast", None, root=5)
+
+
+class TestProcCounters:
+    def test_volume_is_max_direction(self):
+        c = ProcCounters()
+        c.charge_comm(sent=10, recv=3)
+        assert c.volume == 10
+        c.charge_comm(sent=0, recv=20)
+        assert c.volume == 23
+
+    def test_negative_rejected(self):
+        c = ProcCounters()
+        with pytest.raises(ValueError):
+            c.charge(ops=-1)
+        with pytest.raises(ValueError):
+            c.charge_comm(sent=-1, recv=0)
+
+    def test_report_aggregation(self):
+        a = ProcCounters()
+        a.charge(ops=100, misses=5)
+        b = ProcCounters()
+        b.charge(ops=50, misses=9)
+        rep = CountersReport.from_procs([a, b])
+        assert rep.p == 2
+        assert rep.computation == 100
+        assert rep.misses == 9
+        assert rep.total_ops == 150
+
+    def test_report_needs_procs(self):
+        with pytest.raises(ValueError):
+            CountersReport.from_procs([])
+
+    def test_ipm(self):
+        a = ProcCounters()
+        a.charge(ops=1000, misses=10)
+        rep = CountersReport.from_procs([a])
+        assert rep.instructions_per_miss() == 100
+        b = ProcCounters()
+        b.charge(ops=10)
+        assert CountersReport.from_procs([b]).instructions_per_miss() == float("inf")
+
+
+def make_report(p=4, comp=1e6, vol=1e4, steps=10, misses=1e3, wait=0.0):
+    return CountersReport(
+        p=p, computation=comp, volume=vol, supersteps=steps, misses=misses,
+        wait=wait, total_ops=comp * p, total_volume=vol * p,
+    )
+
+
+class TestMachineModel:
+    def test_predict_positive(self):
+        t = MachineModel().predict(make_report())
+        assert t.app_s > 0 and t.mpi_s > 0
+        assert t.total_s == t.app_s + t.mpi_s
+
+    def test_more_volume_more_mpi(self):
+        m = MachineModel()
+        t1 = m.predict(make_report(vol=1e4))
+        t2 = m.predict(make_report(vol=1e6))
+        assert t2.mpi_s > t1.mpi_s
+        assert t2.app_s == t1.app_s
+
+    def test_wait_goes_to_mpi(self):
+        m = MachineModel()
+        t1 = m.predict(make_report(wait=0))
+        t2 = m.predict(make_report(wait=1e6))
+        assert t2.mpi_s > t1.mpi_s
+
+    def test_mpi_fraction_bounds(self):
+        t = MachineModel().predict(make_report())
+        assert 0 < t.mpi_fraction < 1
+
+    def test_fit_recovers_constants(self):
+        true = MachineModel(op_s=2e-9, g_s=5e-9, L_s=2e-5, overhead_s=1e-4)
+        reports = [
+            make_report(p=p, comp=c, vol=v, steps=s)
+            for p, c, v, s in [
+                (2, 1e8, 1e5, 10), (4, 5e7, 2e5, 20), (8, 2e7, 4e5, 40),
+                (16, 1e7, 8e5, 80), (32, 5e6, 1.6e6, 160), (64, 1e9, 10., 5),
+            ]
+        ]
+        measured = [true.predict(r).total_s for r in reports]
+        fitted = fit_model(reports, measured)
+        for r in reports:
+            assert fitted.predict(r).total_s == pytest.approx(
+                true.predict(r).total_s, rel=0.15
+            )
+
+    def test_fit_validates_input(self):
+        with pytest.raises(ValueError):
+            fit_model([], [])
+        with pytest.raises(ValueError):
+            fit_model([make_report()], [1.0, 2.0])

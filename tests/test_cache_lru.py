@@ -1,0 +1,97 @@
+"""Tests for the block-level LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_sequential_scan_misses(self):
+        c = LRUCache(M=64, B=8)
+        c.access_range(0, 64)
+        assert c.misses == 8  # one per block
+        assert c.accesses == 64
+
+    def test_rescan_hits_when_fits(self):
+        c = LRUCache(M=64, B=8)
+        c.access_range(0, 64)
+        c.access_range(0, 64)
+        assert c.misses == 8  # second scan fully cached
+
+    def test_rescan_misses_when_too_big(self):
+        c = LRUCache(M=64, B=8)  # 8 blocks capacity
+        c.access_range(0, 128)   # 16 blocks: evicts the first half
+        c.access_range(0, 128)
+        assert c.misses == 32    # LRU keeps evicting ahead of the scan
+
+    def test_single_word_repeat(self):
+        c = LRUCache(M=64, B=8)
+        c.access(np.array([3, 3, 3, 3]))
+        assert c.misses == 1
+        assert c.accesses == 4
+
+    def test_same_block_different_words(self):
+        c = LRUCache(M=64, B=8)
+        c.access(np.array([0, 7]))  # same block
+        assert c.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(M=16, B=8)  # 2 blocks
+        c.access(0)    # block 0
+        c.access(8)    # block 1
+        c.access(0)    # touch block 0 (now MRU)
+        c.access(16)   # block 2 evicts block 1
+        c.access(0)    # hit
+        assert c.misses == 3
+        c.access(8)    # block 1 was evicted: miss
+        assert c.misses == 4
+
+    def test_flush(self):
+        c = LRUCache(M=64, B=8)
+        c.access_range(0, 8)
+        c.flush()
+        c.access_range(0, 8)
+        assert c.misses == 2
+
+    def test_reset_counters_keeps_contents(self):
+        c = LRUCache(M=64, B=8)
+        c.access_range(0, 8)
+        c.reset_counters()
+        c.access_range(0, 8)
+        assert c.misses == 0
+
+    def test_scalar_access(self):
+        c = LRUCache(M=64, B=8)
+        c.access(5)
+        assert c.accesses == 1 and c.misses == 1
+
+    def test_empty_access(self):
+        c = LRUCache(M=64, B=8)
+        c.access(np.zeros(0, dtype=np.int64))
+        assert c.accesses == 0
+
+    def test_negative_address_rejected(self):
+        c = LRUCache(M=64, B=8)
+        with pytest.raises(ValueError):
+            c.access(-1)
+        with pytest.raises(ValueError):
+            c.access_range(-2, 5)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LRUCache(M=4, B=8)
+        with pytest.raises(ValueError):
+            LRUCache(M=8, B=0)
+
+    def test_resident_blocks_bounded(self):
+        c = LRUCache(M=32, B=8)
+        c.access_range(0, 1000)
+        assert c.resident_blocks <= 4
+
+    def test_capacity_one_block(self):
+        c = LRUCache(M=8, B=8)
+        c.access(0)
+        c.access(8)
+        c.access(0)
+        assert c.misses == 3  # ping-pong, capacity 1

@@ -1,0 +1,63 @@
+"""Tests for the analytic cache-oblivious cost model."""
+
+import pytest
+
+from repro.cache import CacheParams
+
+
+class TestCacheParams:
+    def test_tall_cache_enforced(self):
+        with pytest.raises(ValueError):
+            CacheParams(M=63, B=8)
+        CacheParams(M=64, B=8)  # boundary OK
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            CacheParams(M=64, B=0)
+
+    def test_scan_linear_in_n(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.scan(0) == 0
+        assert c.scan(8) == 2  # ceil(8/8) + 1
+        assert c.scan(80) == 11
+
+    def test_scan_partial_block(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.scan(1) == 2  # one block + boundary
+
+    def test_random_access_fits_in_cache(self):
+        c = CacheParams(M=1024, B=8)
+        # small working set: only compulsory misses
+        assert c.random_access(1000, working_set=100) == c.scan(100)
+
+    def test_random_access_thrashes(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.random_access(500, working_set=10_000) == 500
+
+    def test_random_access_default_working_set(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.random_access(2000) == 2000  # ws defaults to n > M
+
+    def test_sort_superlinear(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.sort(1) == 0
+        assert c.sort(10_000) >= 10_000 / 8
+
+    def test_permute_is_min(self):
+        c = CacheParams(M=1024, B=8)
+        n = 100_000
+        assert c.permute(n) == min(c.random_access(n), c.sort(n))
+
+    def test_transpose(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.transpose(0) == 0
+        assert c.transpose(32) == c.scan(32 * 32)
+
+    def test_matrix_scan(self):
+        c = CacheParams(M=1024, B=8)
+        assert c.matrix_scan(4, 8) == c.scan(32)
+
+    def test_defaults_model_llc(self):
+        c = CacheParams()
+        assert c.M * 8 == 45 * 1024 * 1024  # 45 MiB in bytes
+        assert c.B == 8

@@ -1,0 +1,135 @@
+"""Tests for the memory-tracker instrumentation layer."""
+
+import numpy as np
+import pytest
+
+from repro.cache import AnalyticTracker, CacheParams, LRUTracker, NullTracker
+
+
+class TestNullTracker:
+    def test_everything_free(self):
+        t = NullTracker()
+        t.alloc("a", 100)
+        t.touch("a", np.arange(10))
+        t.scan("a")
+        t.ops(50)
+        assert t.miss_count == 0
+        assert t.op_count == 0
+        assert t.instructions_per_miss() == float("inf")
+
+
+class TestLRUTracker:
+    def make(self, M=256, B=8):
+        return LRUTracker(M=M, B=B)
+
+    def test_scan_counts_blocks(self):
+        t = self.make()
+        t.alloc("a", 64)
+        t.scan("a")
+        assert t.miss_count == 8
+
+    def test_touch_random(self):
+        t = self.make(M=64, B=8)
+        t.alloc("a", 1000)
+        idx = np.arange(0, 1000, 8)  # one per block
+        t.touch("a", idx)
+        assert t.miss_count == 125 - 0 or t.miss_count > 100  # mostly misses
+
+    def test_arrays_do_not_share_blocks(self):
+        t = self.make()
+        t.alloc("a", 1)
+        t.alloc("b", 1)
+        t.touch("a", 0)
+        t.touch("b", 0)
+        assert t.miss_count == 2
+
+    def test_realloc_grows(self):
+        t = self.make()
+        t.alloc("a", 4)
+        t.alloc("a", 100)  # must re-register bigger
+        t.scan("a")  # full 100 elements
+        assert t.miss_count >= 100 // 8
+
+    def test_realloc_smaller_is_noop(self):
+        t = self.make()
+        t.alloc("a", 100)
+        t.alloc("a", 4)
+        t.scan("a")  # still 100 elements
+        assert t.miss_count >= 100 // 8
+
+    def test_out_of_bounds_touch(self):
+        t = self.make()
+        t.alloc("a", 10)
+        with pytest.raises(IndexError):
+            t.touch("a", 10)
+
+    def test_out_of_bounds_scan(self):
+        t = self.make()
+        t.alloc("a", 10)
+        with pytest.raises(IndexError):
+            t.scan("a", 5, 6)
+
+    def test_unknown_array(self):
+        t = self.make()
+        with pytest.raises(KeyError):
+            t.touch("ghost", 0)
+
+    def test_ops_counted(self):
+        t = self.make()
+        t.ops(3)
+        t.ops(4)
+        assert t.op_count == 7
+
+    def test_ipm(self):
+        t = self.make()
+        t.alloc("a", 64)
+        t.scan("a")
+        t.ops(800)
+        assert t.instructions_per_miss() == pytest.approx(800 / t.miss_count)
+
+    def test_multiword_elements(self):
+        t = self.make(M=256, B=8)
+        t.alloc("a", 10, words_per_elem=8)  # one element per block
+        t.touch("a", np.arange(10))
+        assert t.miss_count == 10
+
+    def test_invalid_alloc(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.alloc("a", -1)
+        with pytest.raises(ValueError):
+            t.alloc("a", 5, words_per_elem=0)
+
+
+class TestAnalyticTracker:
+    def test_scan_formula(self):
+        t = AnalyticTracker(CacheParams(M=1024, B=8))
+        t.alloc("a", 80)
+        t.scan("a")
+        assert t.miss_count == int(CacheParams(M=1024, B=8).scan(80))
+
+    def test_touch_small_working_set(self):
+        params = CacheParams(M=1024, B=8)
+        t = AnalyticTracker(params)
+        t.alloc("a", 100)
+        t.touch("a", np.arange(5000) % 100)
+        # fits in cache: compulsory misses only
+        assert t.miss_count == int(params.scan(100))
+
+    def test_touch_large_working_set(self):
+        t = AnalyticTracker(CacheParams(M=1024, B=8))
+        t.alloc("a", 100_000)
+        t.touch("a", np.arange(500))
+        assert t.miss_count == 500
+
+    def test_ops(self):
+        t = AnalyticTracker()
+        t.ops(10)
+        assert t.op_count == 10
+
+    def test_partial_scan(self):
+        params = CacheParams(M=1024, B=8)
+        t = AnalyticTracker(params)
+        t.alloc("a", 100)
+        t.scan("a", 10, 40)
+        assert t.miss_count == int(params.scan(40))

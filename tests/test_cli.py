@@ -1,0 +1,92 @@
+"""Tests for the artifact-style CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import read_edgelist
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    rc = main([
+        "generate", "--family", "er", "--n", "120", "--degree", "6",
+        "--weighted", "--seed", "3", "--out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["er", "ws", "ba", "rmat"])
+    def test_families(self, tmp_path, family):
+        out = tmp_path / f"{family}.txt"
+        rc = main([
+            "generate", "--family", family, "--n", "64", "--degree", "4",
+            "--seed", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        g = read_edgelist(out)
+        assert g.n == 64
+        assert g.m > 0
+
+    def test_explicit_m(self, tmp_path):
+        out = tmp_path / "er.txt"
+        main(["generate", "--family", "er", "--n", "50", "--m", "99",
+              "--seed", "1", "--out", str(out)])
+        assert read_edgelist(out).m == 99
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--family", "nope", "--n", "10",
+                  "--out", str(tmp_path / "x.txt")])
+
+
+class TestAlgorithms:
+    def test_parallel_cc(self, graph_file, capsys):
+        rc = main(["parallel_cc", str(graph_file), "--procs", "4", "--seed", "1"])
+        assert rc == 0
+        line = capsys.readouterr().out.strip()
+        fields = line.split(",")
+        assert fields[0] == str(graph_file)
+        assert fields[7] == "cc"
+        assert int(fields[8]) >= 1
+
+    def test_approx_cut(self, graph_file, capsys):
+        rc = main(["approx_cut", str(graph_file), "-p", "3", "--seed", "2"])
+        assert rc == 0
+        fields = capsys.readouterr().out.strip().split(",")
+        assert fields[7] == "approx_cut"
+        assert float(fields[8]) >= 0
+
+    def test_square_root(self, graph_file, capsys):
+        rc = main(["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                   "--trial-scale", "0.2"])
+        assert rc == 0
+        fields = capsys.readouterr().out.strip().split(",")
+        assert fields[7] == "square_root"
+        assert float(fields[8]) >= 0
+        assert float(fields[5]) > 0  # execution time column
+
+    def test_square_root_fixed_trials(self, graph_file, capsys):
+        rc = main(["square_root", str(graph_file), "--trials", "2"])
+        assert rc == 0
+
+    def test_pipelined_flag(self, graph_file, capsys):
+        rc = main(["approx_cut", str(graph_file), "--pipelined"])
+        assert rc == 0
+
+    def test_same_seed_same_output(self, graph_file, capsys):
+        main(["parallel_cc", str(graph_file), "--seed", "9"])
+        a = capsys.readouterr().out
+        main(["parallel_cc", str(graph_file), "--seed", "9"])
+        b = capsys.readouterr().out
+        assert a == b
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["parallel_cc", str(tmp_path / "missing.txt")])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

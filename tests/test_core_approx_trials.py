@@ -1,0 +1,161 @@
+"""Tests for the approximate minimum cut (§3.3) and trial-count math."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import approx_minimum_cut, num_trials, eager_survival_probability
+from repro.core.approx_mincut import _keep_probability
+from repro.core.trials import recursive_success_probability
+from repro.graph import (
+    EdgeList,
+    complete_graph,
+    erdos_renyi,
+    two_cliques_bridge,
+    verification_suite,
+)
+from repro.graph.validate import networkx_components, networkx_mincut
+from repro.rng import philox_stream
+
+
+class TestKeepProbability:
+    def test_unit_weight(self):
+        assert _keep_probability(np.array([1.0]), 1)[0] == pytest.approx(0.5)
+        assert _keep_probability(np.array([1.0]), 3)[0] == pytest.approx(1 / 8)
+
+    def test_heavy_edge_kept(self):
+        # weight-100 edge at level 1 survives essentially always
+        assert _keep_probability(np.array([100.0]), 1)[0] > 0.999999
+
+    def test_monotone_in_level(self):
+        w = np.array([5.0])
+        ps = [_keep_probability(w, i)[0] for i in range(1, 10)]
+        assert all(a > b for a, b in zip(ps, ps[1:]))
+
+    def test_monotone_in_weight(self):
+        p = _keep_probability(np.array([1.0, 2.0, 10.0]), 4)
+        assert p[0] < p[1] < p[2]
+
+    def test_numerically_stable_at_deep_levels(self):
+        p = _keep_probability(np.array([1.0]), 50)
+        assert 0 < p[0] < 1e-10
+
+
+class TestApproxMinCut:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_approximation_ratio_bound(self, p):
+        """Artifact observed ratios below 11; we allow the same slack both ways."""
+        for case in verification_suite():
+            if case.mincut is None:
+                continue
+            r = approx_minimum_cut(case.graph, p=p, seed=21)
+            ratio = r.estimate / case.mincut
+            bound = 11 * max(1.0, math.log2(case.graph.n))
+            assert 1 / bound <= ratio <= bound, (case.name, ratio)
+
+    def test_witness_value_exact_on_input(self):
+        g = erdos_renyi(50, 300, philox_stream(80), weighted=True)
+        r = approx_minimum_cut(g, p=3, seed=22)
+        if r.witness_side is not None:
+            assert g.cut_value(r.witness_side) == pytest.approx(r.witness_value)
+            assert r.witness_value >= networkx_mincut(g) - 1e-9
+
+    def test_disconnected_returns_zero(self):
+        g = EdgeList.from_pairs(6, [(0, 1), (1, 2), (3, 4)])
+        r = approx_minimum_cut(g, p=2, seed=23)
+        assert r.estimate == 0.0
+        assert g.cut_value(r.witness_side) == 0.0
+
+    def test_pipelined_matches_ratio_bound(self):
+        g = two_cliques_bridge(6, bridge_weight=2.0)
+        r = approx_minimum_cut(g, p=3, seed=24, pipelined=True)
+        assert 2.0 / 16 <= r.estimate <= 2.0 * 16
+
+    def test_pipelined_constant_supersteps(self):
+        """The pipelined schedule must not grow with the cut value."""
+        small = two_cliques_bridge(6, bridge_weight=1.0)
+        big = two_cliques_bridge(6, bridge_weight=64.0)
+        s_small = approx_minimum_cut(small, p=2, seed=25, pipelined=True)
+        s_big = approx_minimum_cut(big, p=2, seed=25, pipelined=True)
+        # both answered by one CC call over the union
+        assert abs(s_big.report.supersteps - s_small.report.supersteps) <= 16
+
+    def test_staged_stops_early_for_small_cuts(self):
+        """Staged supersteps grow with log(mu), so a tiny cut stops early."""
+        small_cut = two_cliques_bridge(8, bridge_weight=1.0)
+        r = approx_minimum_cut(small_cut, p=2, seed=26)
+        assert r.estimate <= 8.0
+
+    def test_deterministic(self):
+        g = erdos_renyi(40, 200, philox_stream(81))
+        a = approx_minimum_cut(g, p=3, seed=27)
+        b = approx_minimum_cut(g, p=3, seed=27)
+        assert a.estimate == b.estimate
+
+    def test_trials_per_level_override(self):
+        g = complete_graph(10)
+        r = approx_minimum_cut(g, p=2, seed=28, trials_per_level=2)
+        assert r.estimate > 0
+
+    def test_estimate_scales_with_cut(self):
+        """Bigger min cut -> larger (or equal) estimate, statistically."""
+        thin = two_cliques_bridge(10, bridge_weight=1.0)
+        fat = two_cliques_bridge(10, bridge_weight=32.0)
+        e_thin = np.median([
+            approx_minimum_cut(thin, p=2, seed=s).estimate for s in range(5)
+        ])
+        e_fat = np.median([
+            approx_minimum_cut(fat, p=2, seed=s).estimate for s in range(5)
+        ])
+        assert e_fat > e_thin
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            approx_minimum_cut(EdgeList.empty(1), p=1, seed=0)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            approx_minimum_cut(EdgeList.empty(3), p=1, seed=0)
+
+
+class TestTrialMath:
+    def test_survival_probability_formula(self):
+        assert eager_survival_probability(10, 10) == 1.0
+        assert eager_survival_probability(10, 12) == 1.0
+        assert eager_survival_probability(4, 2) == pytest.approx(2 / 12)
+
+    def test_survival_validation(self):
+        with pytest.raises(ValueError):
+            eager_survival_probability(1, 2)
+        with pytest.raises(ValueError):
+            eager_survival_probability(5, 1)
+
+    def test_recursive_success_probability(self):
+        assert recursive_success_probability(2) == 1.0
+        assert 0 < recursive_success_probability(10 ** 6) < 0.06
+
+    def test_num_trials_monotone_in_density(self):
+        """Denser graphs need fewer trials: t = Theta(n^2/m log^2 n)."""
+        sparse = num_trials(1000, 2000)
+        dense = num_trials(1000, 100_000)
+        assert dense < sparse
+
+    def test_num_trials_monotone_in_prob(self):
+        assert num_trials(100, 500, success_prob=0.99) > \
+            num_trials(100, 500, success_prob=0.5)
+
+    def test_num_trials_scale(self):
+        full = num_trials(100, 500)
+        assert num_trials(100, 500, scale=0.1) <= max(1, full // 5)
+
+    def test_num_trials_at_least_one(self):
+        assert num_trials(4, 6, scale=1e-9) == 1
+
+    def test_num_trials_validation(self):
+        with pytest.raises(ValueError):
+            num_trials(10, 20, success_prob=1.0)
+        with pytest.raises(ValueError):
+            num_trials(10, 20, scale=0)
+        with pytest.raises(ValueError):
+            num_trials(10, 0)

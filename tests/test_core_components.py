@@ -1,0 +1,133 @@
+"""Tests for the sampling-based connected components algorithm (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUTracker
+from repro.core import connected_components, cc_sequential
+from repro.graph import (
+    EdgeList,
+    barabasi_albert,
+    erdos_renyi,
+    grid_graph,
+    rmat,
+    verification_suite,
+    watts_strogatz,
+)
+from repro.graph.validate import networkx_components
+from repro.rng import philox_stream
+from tests.conftest import assert_same_partition
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_er_components(self, p):
+        g = erdos_renyi(300, 350, philox_stream(10))
+        res = connected_components(g, p=p, seed=1)
+        assert res.n_components == networkx_components(g)
+        assert (res.labels[g.u] == res.labels[g.v]).all()
+
+    def test_labels_are_dense(self):
+        g = erdos_renyi(100, 80, philox_stream(11))
+        res = connected_components(g, p=3, seed=2)
+        assert set(np.unique(res.labels)) == set(range(res.n_components))
+
+    def test_all_graph_families(self):
+        rng = philox_stream(12)
+        graphs = [
+            erdos_renyi(200, 400, rng),
+            watts_strogatz(128, 4, rng),
+            barabasi_albert(150, 2, rng),
+            rmat(128, 500, rng),
+            grid_graph(10, 12),
+        ]
+        for g in graphs:
+            res = connected_components(g, p=4, seed=3)
+            assert res.n_components == networkx_components(g)
+
+    def test_verification_suite(self):
+        for case in verification_suite():
+            res = connected_components(case.graph, p=3, seed=4)
+            assert res.n_components == case.components, case.name
+
+    def test_empty_graph(self):
+        g = EdgeList.empty(9)
+        res = connected_components(g, p=2, seed=0)
+        assert res.n_components == 9
+        assert np.array_equal(np.sort(res.labels), np.arange(9))
+
+    def test_single_edge(self):
+        g = EdgeList.from_pairs(3, [(0, 2)])
+        res = connected_components(g, p=2, seed=0)
+        assert res.n_components == 2
+
+    def test_connected_graph(self):
+        g = watts_strogatz(100, 6, philox_stream(13), rewire_p=0.0)
+        res = connected_components(g, p=4, seed=5)
+        assert res.n_components == 1
+
+    def test_partition_matches_truth(self):
+        g = erdos_renyi(150, 160, philox_stream(14))
+        res = connected_components(g, p=4, seed=6)
+        import networkx as nx
+
+        h = nx.Graph()
+        h.add_nodes_from(range(g.n))
+        h.add_edges_from(zip(g.u.tolist(), g.v.tolist()))
+        truth = np.empty(g.n, dtype=np.int64)
+        for i, comp in enumerate(nx.connected_components(h)):
+            truth[list(comp)] = i
+        assert_same_partition(g, res.labels, truth)
+
+
+class TestDeterminismAndCosts:
+    def test_deterministic(self):
+        g = erdos_renyi(200, 300, philox_stream(15))
+        a = connected_components(g, p=4, seed=7)
+        b = connected_components(g, p=4, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_constant_supersteps(self):
+        """O(1) iterations w.h.p. -> supersteps independent of n."""
+        steps = []
+        for n in (200, 800, 3200):
+            g = erdos_renyi(n, 4 * n, philox_stream(16))
+            res = connected_components(g, p=4, seed=8)
+            steps.append(res.report.supersteps)
+        assert max(steps) <= 25
+        assert max(steps) <= steps[0] + 12  # no growth trend with n
+
+    def test_communication_subquadratic(self):
+        """Volume is O(n^(1+eps)), independent of m."""
+        n = 500
+        sparse = erdos_renyi(n, 2 * n, philox_stream(17))
+        dense = erdos_renyi(n, 40 * n, philox_stream(18))
+        vs = connected_components(sparse, p=4, seed=9).report.volume
+        vd = connected_components(dense, p=4, seed=9).report.volume
+        assert vd < 4 * vs  # volume tracks n, not m
+
+    def test_eps_parameter(self):
+        g = erdos_renyi(300, 900, philox_stream(19))
+        for eps in (0.1, 0.4):
+            res = connected_components(g, p=3, seed=10, eps=eps)
+            assert res.n_components == networkx_components(g)
+
+
+class TestSequential:
+    def test_matches_parallel(self):
+        g = erdos_renyi(250, 260, philox_stream(20))
+        labels, k = cc_sequential(g, seed=11)
+        assert k == networkx_components(g)
+        assert (labels[g.u] == labels[g.v]).all()
+
+    def test_instrumented_run_counts(self):
+        g = erdos_renyi(200, 800, philox_stream(21))
+        mem = LRUTracker(M=4096, B=8)
+        labels, k = cc_sequential(g, seed=12, mem=mem)
+        assert k == networkx_components(g)
+        assert mem.miss_count > 0
+        assert mem.op_count > g.m
+
+    def test_empty(self):
+        labels, k = cc_sequential(EdgeList.empty(4), seed=0)
+        assert k == 4

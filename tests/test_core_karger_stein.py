@@ -1,0 +1,138 @@
+"""Tests for the sequential Karger–Stein recursion and its building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.cache import AnalyticTracker, LRUTracker
+from repro.core.karger_stein import (
+    KS_BASE_SIZE,
+    brute_force_matrix,
+    karger_stein_matrix,
+    random_contract_matrix,
+)
+from repro.graph import AdjacencyMatrix, complete_graph, erdos_renyi, two_cliques_bridge
+from repro.graph.validate import brute_force_mincut, networkx_components
+from repro.rng import philox_stream
+
+
+def matrix_of(g):
+    return AdjacencyMatrix.from_edgelist(g).a
+
+
+class TestBruteForceMatrix:
+    def test_triangle(self):
+        val, side = brute_force_matrix(matrix_of(complete_graph(3)))
+        assert val == 2.0
+        assert side.sum() in (1, 2)
+
+    def test_matches_edge_enumeration(self):
+        for seed in range(6):
+            g = erdos_renyi(7, 15, philox_stream(seed), weighted=True)
+            val, side = brute_force_matrix(matrix_of(g))
+            assert val == brute_force_mincut(g)
+            if 0 < side.sum() < g.n:
+                assert g.cut_value(side) == val
+
+    def test_disconnected_zero(self):
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 0] = 1.0
+        val, side = brute_force_matrix(a)
+        assert val == 0.0
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            brute_force_matrix(np.zeros((1, 1)))
+
+
+class TestRandomContract:
+    def test_reaches_target(self):
+        a = matrix_of(complete_graph(20))
+        cur, labels, k = random_contract_matrix(a, 5, philox_stream(1))
+        assert k == 5
+        assert cur.shape == (5, 5)
+        assert labels.max() < 5
+
+    def test_weight_conservation_bound(self):
+        """Contraction only removes weight (loops), never creates it."""
+        g = erdos_renyi(15, 60, philox_stream(2), weighted=True)
+        a = matrix_of(g)
+        cur, _, _ = random_contract_matrix(a, 4, philox_stream(3))
+        assert cur.sum() <= a.sum() + 1e-9
+
+    def test_symmetry_preserved(self):
+        a = matrix_of(complete_graph(12))
+        cur, _, _ = random_contract_matrix(a, 4, philox_stream(4))
+        assert np.allclose(cur, cur.T)
+        assert (np.diag(cur) == 0).all()
+
+    def test_disconnected_stops_early(self):
+        g = two_cliques_bridge(4)
+        a = matrix_of(g)
+        a[0, 4] = a[4, 0] = 0.0  # remove the bridge: now disconnected
+        cur, labels, k = random_contract_matrix(a, 2, philox_stream(5))
+        # must stop at the two components with no edges left
+        assert k == 2
+        assert cur.sum() == 0
+
+    def test_labels_consistent_with_matrix(self):
+        g = erdos_renyi(12, 40, philox_stream(6), weighted=True)
+        a = matrix_of(g)
+        cur, labels, k = random_contract_matrix(a, 3, philox_stream(7))
+        # contracting `a` by `labels` must reproduce `cur`
+        expected = AdjacencyMatrix(a, validate=False).contract(labels, k).a
+        assert np.allclose(cur, expected)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            random_contract_matrix(matrix_of(complete_graph(4)), 1, philox_stream(0))
+
+
+class TestKargerStein:
+    def test_cut_value_never_below_truth(self):
+        """Any returned cut is a real cut: value >= the true minimum."""
+        for seed in range(8):
+            g = erdos_renyi(10, 25, philox_stream(seed + 10), weighted=True)
+            truth = brute_force_mincut(g)
+            val, side = karger_stein_matrix(matrix_of(g), philox_stream(seed))
+            assert val >= truth - 1e-9
+            assert g.cut_value(side) == pytest.approx(val)
+
+    def test_finds_bridge_with_repetition(self):
+        g = two_cliques_bridge(6)
+        a = matrix_of(g)
+        best = min(
+            karger_stein_matrix(a, philox_stream(s))[0] for s in range(8)
+        )
+        assert best == 1.0
+
+    def test_base_case_exact(self):
+        g = complete_graph(KS_BASE_SIZE)
+        val, _ = karger_stein_matrix(matrix_of(g), philox_stream(1))
+        assert val == KS_BASE_SIZE - 1
+
+    def test_disconnected_returns_zero(self):
+        a = np.zeros((8, 8))
+        a[0, 1] = a[1, 0] = 3.0
+        a[5, 6] = a[6, 5] = 2.0
+        val, side = karger_stein_matrix(a, philox_stream(2))
+        assert val == 0.0
+        assert 0 < side.sum() < 8
+
+    def test_witness_is_valid_partition(self):
+        g = erdos_renyi(14, 50, philox_stream(20), weighted=True)
+        val, side = karger_stein_matrix(matrix_of(g), philox_stream(3))
+        assert side.dtype == bool
+        assert 0 < side.sum() < g.n
+
+    def test_tracker_records_work(self):
+        g = erdos_renyi(16, 60, philox_stream(21), weighted=True)
+        mem = AnalyticTracker()
+        karger_stein_matrix(matrix_of(g), philox_stream(4), mem)
+        assert mem.op_count > 16 * 16
+        assert mem.miss_count > 0
+
+    def test_lru_tracker_compatible(self):
+        g = erdos_renyi(12, 40, philox_stream(22), weighted=True)
+        mem = LRUTracker(M=1024, B=8)
+        karger_stein_matrix(matrix_of(g), philox_stream(5), mem)
+        assert mem.miss_count > 0

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and self-verifies.
+
+The examples assert their own invariants internally (witness checks, cross
+checks against baselines, clustering recovery), so a clean exit is a real
+end-to-end test of the public API.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "connected components:" in out
+        assert "exact minimum cut:" in out
+        assert "witness verified" in out
+
+    def test_network_reliability(self):
+        out = run_example("network_reliability.py")
+        assert "global minimum cut" in out
+        assert "witness verified" in out
+
+    def test_image_segmentation(self):
+        out = run_example("image_segmentation.py")
+        assert "segments" in out
+        assert "BFS baseline agrees" in out
+
+    def test_graph_clustering(self):
+        out = run_example("graph_clustering.py")
+        assert "recovered" in out
+        assert "planted structure" in out
+
+    def test_artifact_workflow(self):
+        out = run_example("artifact_workflow.py")
+        assert "profile records" in out
+        assert "aggregated datapoints" in out

@@ -1,0 +1,97 @@
+"""Statistical fingerprints of the §5 graph families.
+
+The evaluation leans on the four families having "distinct vertex degree
+distributions as well as spectral (and thus connectivity) properties".
+These tests verify the distributional signatures our generators must show
+for the benchmark inputs to play their roles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import barabasi_albert, erdos_renyi, rmat, watts_strogatz
+from repro.rng import philox_stream
+
+
+class TestErdosRenyiFingerprint:
+    def test_poisson_like_degrees(self):
+        """ER degrees concentrate: variance ~ mean (Poisson)."""
+        g = erdos_renyi(4_000, 16_000, philox_stream(1))
+        deg = g.degrees()
+        assert abs(deg.var() / deg.mean() - 1.0) < 0.25
+
+    def test_edge_position_uniformity(self):
+        """Every vertex participates at the same rate (chi-square)."""
+        n = 500
+        counts = np.zeros(n)
+        for seed in range(10):
+            g = erdos_renyi(n, 4_000, philox_stream(seed + 10))
+            counts += g.degrees()
+        expected = counts.mean()
+        stat = ((counts - expected) ** 2 / expected).sum()
+        assert stat < 3 * n  # very loose chi-square bound
+
+
+class TestWattsStrogatzFingerprint:
+    def test_degrees_near_k(self):
+        """Rewiring keeps degrees tightly around k."""
+        g = watts_strogatz(2_000, 8, philox_stream(2))
+        deg = g.degrees()
+        assert deg.mean() == pytest.approx(8, rel=0.05)
+        assert deg.std() < 2.5
+
+    def test_rewiring_shrinks_diameter(self):
+        """The small-world effect: rewired ring has a far smaller diameter
+        than the pure lattice."""
+        import networkx as nx
+
+        lattice = watts_strogatz(400, 4, philox_stream(3), rewire_p=0.0)
+        small_world = watts_strogatz(400, 4, philox_stream(3), rewire_p=0.3)
+        gl = nx.Graph(list(zip(lattice.u.tolist(), lattice.v.tolist())))
+        gs = nx.Graph(list(zip(small_world.u.tolist(), small_world.v.tolist())))
+        if nx.is_connected(gl) and nx.is_connected(gs):
+            dl = nx.diameter(gl)
+            ds = nx.diameter(gs)
+            assert ds < dl / 2
+
+
+class TestBarabasiAlbertFingerprint:
+    def test_heavy_tail(self):
+        """Scale-free: the max degree dwarfs the median."""
+        g = barabasi_albert(3_000, 3, philox_stream(4))
+        deg = g.degrees()
+        assert deg.max() > 10 * np.median(deg)
+
+    def test_power_law_ish_ccdf(self):
+        """The CCDF decays polynomially, not exponentially: the fraction of
+        vertices above 4x the median exceeds the Poisson prediction by
+        orders of magnitude."""
+        g = barabasi_albert(3_000, 3, philox_stream(5))
+        deg = g.degrees()
+        med = np.median(deg)
+        frac_heavy = (deg > 4 * med).mean()
+        assert frac_heavy > 0.01  # a Poisson tail would be ~1e-6 here
+
+
+class TestRmatFingerprint:
+    def test_skewed_vs_er(self):
+        """R-MAT(0.45, .22, .22) is visibly more skewed than ER of the same
+        size — the property the dense benchmarks rely on."""
+        n, m = 2_048, 16_384
+        g_rmat = rmat(n, m, philox_stream(6))
+        g_er = erdos_renyi(n, m, philox_stream(7))
+        assert g_rmat.degrees().std() > 2 * g_er.degrees().std()
+
+    def test_quadrant_bias(self):
+        """Low-id vertices accumulate more edges (quadrant a = 0.45)."""
+        g = rmat(1_024, 8_192, philox_stream(8))
+        deg = g.degrees()
+        low = deg[: 256].mean()
+        high = deg[768:].mean()
+        assert low > 1.5 * high
+
+    def test_uniform_parameters_recover_er_like(self):
+        """With a=b=c=d=0.25 the skew disappears."""
+        g_uniform = rmat(1_024, 8_192, philox_stream(9), a=0.25, b=0.25, c=0.25)
+        g_skewed = rmat(1_024, 8_192, philox_stream(9))
+        assert g_uniform.degrees().std() < g_skewed.degrees().std()

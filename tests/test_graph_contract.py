@@ -1,0 +1,143 @@
+"""Tests for relabeling, combining and contraction utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList, complete_graph
+from repro.graph.contract import (
+    combine_parallel_edges,
+    components_from_edges,
+    compress_labels,
+    contract_edges,
+    relabel_edges,
+    union_find_components,
+)
+from repro.graph.validate import brute_force_mincut
+
+
+class TestRelabel:
+    def test_drops_loops(self):
+        g = EdgeList.from_pairs(3, [(0, 1), (1, 2)])
+        h = relabel_edges(g, np.array([0, 0, 1]), 2)
+        assert h.m == 1
+        assert h.as_tuples() == [(0, 1, 1.0)]
+
+    def test_keeps_parallel(self):
+        g = EdgeList.from_pairs(4, [(0, 2), (1, 3)])
+        h = relabel_edges(g, np.array([0, 0, 1, 1]), 2)
+        assert h.m == 2  # two parallel (0,1) edges survive
+
+    def test_invalid_mapping(self):
+        g = EdgeList.from_pairs(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            relabel_edges(g, np.array([0]), 1)
+        with pytest.raises(ValueError):
+            relabel_edges(g, np.array([0, 5]), 2)
+
+
+class TestCombine:
+    def test_sums_weights(self):
+        g = EdgeList.from_pairs(2, [(0, 1, 1.0), (0, 1, 2.5)])
+        h = combine_parallel_edges(g)
+        assert h.m == 1
+        assert h.w[0] == 3.5
+
+    def test_empty(self):
+        g = EdgeList.empty(3)
+        assert combine_parallel_edges(g).m == 0
+
+    def test_preserves_total_weight(self, rng):
+        u = rng.integers(0, 10, 50)
+        v = (u + 1 + rng.integers(0, 8, 50)) % 10
+        keep = u != v
+        g = EdgeList(10, u[keep], v[keep])
+        h = combine_parallel_edges(g)
+        assert h.total_weight() == pytest.approx(g.total_weight())
+        assert h.m <= g.m
+
+
+class TestContractEdges:
+    def test_contract_never_decreases_mincut(self, rng):
+        g = EdgeList.from_pairs(
+            6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+        )
+        before = brute_force_mincut(g)
+        h, labels = contract_edges(g, np.array([0]))  # contract (0,1)
+        after = brute_force_mincut(h)
+        assert after >= before
+        assert labels[0] == labels[1]
+
+    def test_contract_all_edges_of_component(self):
+        g = EdgeList.from_pairs(4, [(0, 1), (1, 2)])
+        h, labels = contract_edges(g, np.array([0, 1]))
+        assert h.n == 2  # {0,1,2} merged, 3 isolated
+        assert h.m == 0
+        assert labels[3] != labels[0]
+
+
+class TestComponents:
+    def test_path(self):
+        labels, k = components_from_edges(4, np.array([0, 1]), np.array([1, 2]))
+        assert k == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+
+    def test_no_edges(self):
+        labels, k = components_from_edges(5, np.zeros(0, np.int64), np.zeros(0, np.int64))
+        assert k == 5
+        assert np.array_equal(labels, np.arange(5))
+
+    def test_matches_union_find(self, rng):
+        n = 64
+        u = rng.integers(0, n, 100)
+        v = rng.integers(0, n, 100)
+        keep = u != v
+        u, v = u[keep], v[keep]
+        fast_labels, fast_k = components_from_edges(n, u, v)
+        roots = union_find_components(n, u, v)
+        uf_labels, uf_k = compress_labels(roots)
+        assert fast_k == uf_k
+        # same partition
+        assert (fast_labels[u] == fast_labels[v]).all()
+        same_fast = fast_labels[:, None] == fast_labels[None, :]
+        same_uf = uf_labels[:, None] == uf_labels[None, :]
+        assert (same_fast == same_uf).all()
+
+    def test_labels_dense(self):
+        labels, k = components_from_edges(6, np.array([0, 2, 4]), np.array([1, 3, 5]))
+        assert sorted(np.unique(labels).tolist()) == list(range(k))
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_component_count_bounds(self, n, m):
+        rng = np.random.default_rng(n * 1000 + m)
+        u = rng.integers(0, n, m)
+        v = rng.integers(0, n, m)
+        keep = u != v
+        labels, k = components_from_edges(n, u[keep], v[keep])
+        assert max(1, n - int(keep.sum())) <= k <= n
+        assert labels.size == n
+
+
+class TestCompressLabels:
+    def test_dense_and_order_preserving(self):
+        labels, k = compress_labels(np.array([5, 5, 2, 9, 2]))
+        assert k == 3
+        assert labels.tolist() == [1, 1, 0, 2, 0]
+
+
+class TestUnionFind:
+    def test_kn_single_component(self):
+        g = complete_graph(8)
+        roots = union_find_components(8, g.u, g.v)
+        assert np.unique(roots).size == 1
+
+    def test_roots_are_fixpoints(self, rng):
+        n = 32
+        u = rng.integers(0, n, 40)
+        v = rng.integers(0, n, 40)
+        keep = u != v
+        roots = union_find_components(n, u[keep], v[keep])
+        assert np.array_equal(roots[roots], roots)

@@ -1,0 +1,172 @@
+"""Tests for the EdgeList representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList
+
+
+def simple_graph():
+    return EdgeList.from_pairs(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0)])
+
+
+class TestConstruction:
+    def test_from_pairs_unweighted(self):
+        g = EdgeList.from_pairs(3, [(0, 1), (1, 2)])
+        assert g.m == 2
+        assert (g.w == 1.0).all()
+
+    def test_from_pairs_weighted(self):
+        g = simple_graph()
+        assert g.m == 3
+        assert g.total_weight() == 6.0
+
+    def test_empty(self):
+        g = EdgeList.empty(5)
+        assert g.n == 5 and g.m == 0
+        assert g.total_weight() == 0.0
+
+    def test_canonicalizes_endpoints(self):
+        g = EdgeList(3, np.array([2, 1]), np.array([0, 2]))
+        assert (g.u <= g.v).all()
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            EdgeList.from_pairs(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EdgeList(2, np.array([0]), np.array([2]))
+        with pytest.raises(ValueError):
+            EdgeList(2, np.array([-1]), np.array([1]))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            EdgeList(2, np.array([0]), np.array([1]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            EdgeList(2, np.array([0]), np.array([1]), np.array([-1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EdgeList(3, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            EdgeList(-1, np.zeros(0, np.int64), np.zeros(0, np.int64))
+
+    def test_parallel_edges_allowed(self):
+        g = EdgeList.from_pairs(2, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert g.m == 2 and g.total_weight() == 3.0
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = simple_graph()
+        assert g.degrees().tolist() == [1, 2, 2, 1]
+
+    def test_weighted_degrees(self):
+        g = simple_graph()
+        assert g.weighted_degrees().tolist() == [2.0, 3.0, 4.0, 3.0]
+
+    def test_average_degree(self):
+        g = simple_graph()
+        assert g.average_degree() == pytest.approx(1.5)
+        assert EdgeList.empty(0).average_degree() == 0.0
+
+    def test_copy_is_independent(self):
+        g = simple_graph()
+        h = g.copy()
+        h.w[0] = 99.0
+        assert g.w[0] == 2.0
+
+    def test_select(self):
+        g = simple_graph()
+        h = g.select(np.array([0, 2]))
+        assert h.m == 2
+        assert h.total_weight() == 5.0
+        assert h.n == g.n
+
+    def test_as_tuples_roundtrip(self):
+        g = simple_graph()
+        h = EdgeList.from_pairs(4, g.as_tuples())
+        assert g == h
+
+    def test_equality(self):
+        assert simple_graph() == simple_graph()
+        assert simple_graph() != EdgeList.empty(4)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(simple_graph())
+
+    def test_to_networkx(self):
+        nxg = simple_graph().to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 3
+
+
+class TestSlices:
+    def test_slices_partition_edges(self):
+        g = simple_graph()
+        parts = g.slices(2)
+        assert sum(s.m for s in parts) == g.m
+        assert all(s.n == g.n for s in parts)
+
+    def test_slices_more_procs_than_edges(self):
+        g = simple_graph()
+        parts = g.slices(10)
+        assert sum(s.m for s in parts) == g.m
+
+    def test_slices_balanced(self):
+        g = EdgeList.from_pairs(10, [(i, i + 1) for i in range(9)])
+        sizes = [s.m for s in g.slices(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_slices_invalid_p(self):
+        with pytest.raises(ValueError):
+            simple_graph().slices(0)
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=16, deadline=None)
+    def test_slices_concatenation_identity(self, p):
+        g = simple_graph()
+        parts = g.slices(p)
+        u = np.concatenate([s.u for s in parts])
+        assert np.array_equal(u, g.u)
+
+
+class TestCutValue:
+    def test_path_cut(self):
+        g = simple_graph()
+        side = np.array([True, False, False, False])
+        assert g.cut_value(side) == 2.0
+
+    def test_middle_cut(self):
+        g = simple_graph()
+        side = np.array([True, True, False, False])
+        assert g.cut_value(side) == 1.0
+
+    def test_complement_symmetric(self):
+        g = simple_graph()
+        side = np.array([True, False, True, False])
+        assert g.cut_value(side) == g.cut_value(~side)
+
+    def test_rejects_empty_or_full(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            g.cut_value(np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError):
+            g.cut_value(np.ones(4, dtype=bool))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            simple_graph().cut_value(np.array([True, False]))
+
+
+class TestPermute:
+    def test_permute_preserves_multiset(self, rng):
+        g = simple_graph()
+        h = g.permute_edges(rng)
+        assert sorted(h.as_tuples()) == sorted(g.as_tuples())

@@ -1,0 +1,209 @@
+"""Tests for the synthetic graph generators (§5 graph families)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid_graph,
+    ring_of_cliques,
+    rmat,
+    star_graph,
+    two_cliques_bridge,
+    verification_suite,
+    watts_strogatz,
+    weighted_cycle,
+)
+from repro.graph.validate import (
+    brute_force_mincut,
+    networkx_components,
+    networkx_mincut,
+)
+from repro.rng import philox_stream
+
+
+def assert_simple(g):
+    """No loops, no duplicate (u,v) pairs, endpoints in range."""
+    assert (g.u != g.v).all()
+    assert g.u.min(initial=0) >= 0 and g.v.max(initial=0) < g.n
+    codes = g.u * g.n + g.v
+    assert np.unique(codes).size == g.m
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(100, 250, philox_stream(0))
+        assert g.n == 100 and g.m == 250
+        assert_simple(g)
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, 100, philox_stream(7))
+        b = erdos_renyi(50, 100, philox_stream(7))
+        assert a == b
+
+    def test_weighted(self):
+        g = erdos_renyi(50, 100, philox_stream(1), weighted=True)
+        assert g.w.min() >= 1 and g.w.max() <= 8
+
+    def test_dense_limit(self):
+        g = erdos_renyi(10, 45, philox_stream(2))
+        assert g.m == 45  # complete graph
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 46, philox_stream(0))
+
+
+class TestWattsStrogatz:
+    def test_structure(self):
+        g = watts_strogatz(100, 6, philox_stream(3))
+        assert g.n == 100
+        assert g.m <= 300  # rewiring can only merge edges
+        assert g.m > 250
+        assert_simple(g)
+
+    def test_no_rewiring_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, philox_stream(0), rewire_p=0.0)
+        assert g.m == 40
+        assert networkx_components(g) == 1
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, philox_stream(0))
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, philox_stream(0))
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 2, philox_stream(0), rewire_p=1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, philox_stream(4))
+        assert g.m == (100 - 3) * 3
+        assert_simple(g)
+
+    def test_connected(self):
+        g = barabasi_albert(200, 2, philox_stream(5))
+        assert networkx_components(g) == 1
+
+    def test_scale_free_hub(self):
+        g = barabasi_albert(500, 2, philox_stream(6))
+        deg = g.degrees()
+        # preferential attachment produces hubs far above the mean degree
+        assert deg.max() > 4 * deg.mean()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0, philox_stream(0))
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5, philox_stream(0))
+
+
+class TestRmat:
+    def test_basic(self):
+        g = rmat(256, 2000, philox_stream(8))
+        assert g.n == 256
+        assert g.m >= 1900  # dedup tolerance
+        assert_simple(g)
+
+    def test_skewed_degrees(self):
+        g = rmat(512, 4000, philox_stream(9))
+        deg = g.degrees()
+        assert deg.max() > 3 * deg.mean()
+
+    def test_multigraph_mode(self):
+        g = rmat(64, 500, philox_stream(10), simple=False)
+        assert g.total_weight() > 0
+        # weights carry the multiplicities
+        assert g.w.max() >= 1
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(16, 10, philox_stream(0), a=0.9, b=0.2, c=0.2)
+
+
+class TestDeterministicShapes:
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert networkx_components(g) == 1
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert networkx_mincut(g) == 5.0
+
+    def test_star(self):
+        g = star_graph(8, weight=2.0)
+        assert g.m == 7
+        assert networkx_mincut(g) == 2.0
+
+    def test_star_too_small(self):
+        with pytest.raises(ValueError):
+            star_graph(1)
+
+    def test_cycle(self):
+        g = weighted_cycle(5, np.array([5.0, 1.0, 4.0, 2.0, 3.0]))
+        assert networkx_mincut(g) == 3.0  # 1 + 2
+
+    def test_cycle_default_weights(self):
+        assert networkx_mincut(weighted_cycle(7)) == 2.0
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            weighted_cycle(2)
+        with pytest.raises(ValueError):
+            weighted_cycle(4, np.array([1.0]))
+
+    def test_two_cliques(self):
+        g = two_cliques_bridge(5, bridge_weight=2.0)
+        assert g.n == 10
+        assert networkx_mincut(g) == 2.0
+
+    def test_two_cliques_multi_bridge(self):
+        g = two_cliques_bridge(6, bridges=2)
+        assert networkx_mincut(g) == 2.0
+
+    def test_two_cliques_validation(self):
+        with pytest.raises(ValueError):
+            two_cliques_bridge(1)
+        with pytest.raises(ValueError):
+            two_cliques_bridge(3, bridges=4)
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 5)
+        assert g.n == 20
+        assert networkx_mincut(g) == 2.0
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(2, 4)
+
+
+class TestVerificationSuite:
+    def test_component_counts_match_networkx(self):
+        for case in verification_suite():
+            assert networkx_components(case.graph) == case.components, case.name
+
+    def test_mincut_values_match_ground_truth(self):
+        for case in verification_suite():
+            if case.mincut is None or case.graph.n > 16:
+                continue
+            assert brute_force_mincut(case.graph) == case.mincut, case.name
+
+    def test_larger_cases_match_stoer_wagner(self):
+        for case in verification_suite():
+            if case.mincut is None or case.graph.n <= 16:
+                continue
+            assert networkx_mincut(case.graph) == case.mincut, case.name
+
+    def test_names_unique(self):
+        names = [c.name for c in verification_suite()]
+        assert len(names) == len(set(names))

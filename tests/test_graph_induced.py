@@ -1,0 +1,72 @@
+"""Tests for induced subgraphs and degree statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList, complete_graph, erdos_renyi
+from repro.rng import philox_stream
+
+
+class TestInduced:
+    def test_basic(self):
+        g = EdgeList.from_pairs(5, [(0, 1, 2.0), (1, 2, 1.0), (3, 4, 5.0)])
+        sub, mapping = g.induced(np.array([1, 2, 3]))
+        assert sub.n == 3
+        assert sub.as_tuples() == [(0, 1, 1.0)]  # only (1,2) survives
+        assert mapping.tolist() == [1, 2, 3]
+
+    def test_whole_graph(self):
+        g = complete_graph(5)
+        sub, mapping = g.induced(np.arange(5))
+        assert sub.m == g.m
+
+    def test_empty_selection(self):
+        g = complete_graph(4)
+        sub, mapping = g.induced(np.array([], dtype=np.int64))
+        assert sub.n == 0 and sub.m == 0
+
+    def test_preserves_weights(self):
+        g = erdos_renyi(30, 100, philox_stream(80), weighted=True)
+        vertices = np.arange(0, 30, 2)
+        sub, mapping = g.induced(vertices)
+        for u, v, w in sub.as_tuples():
+            ou, ov = mapping[int(u)], mapping[int(v)]
+            pairs = {(min(a, b), max(a, b)): wt for a, b, wt in g.as_tuples()}
+            assert pairs[(min(ou, ov), max(ou, ov))] == w
+
+    def test_out_of_range_rejected(self):
+        g = complete_graph(3)
+        with pytest.raises(ValueError):
+            g.induced(np.array([0, 5]))
+
+    def test_duplicates_rejected(self):
+        g = complete_graph(3)
+        with pytest.raises(ValueError):
+            g.induced(np.array([0, 0]))
+
+    def test_renumbering_order(self):
+        g = EdgeList.from_pairs(4, [(2, 3)])
+        sub, mapping = g.induced(np.array([3, 2]))
+        # vertex order follows the selection order
+        assert mapping.tolist() == [3, 2]
+        assert sub.as_tuples() == [(0, 1, 1.0)]
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        g = complete_graph(6)
+        stats = g.degree_statistics()
+        assert stats["min"] == stats["max"] == 5
+        assert stats["std"] == 0.0
+
+    def test_star_is_skewed(self):
+        from repro.graph import star_graph
+
+        stats = star_graph(10).degree_statistics()
+        assert stats["max"] == 9
+        assert stats["min"] == 1
+        assert stats["median"] == 1.0
+
+    def test_empty(self):
+        stats = EdgeList.empty(0).degree_statistics()
+        assert stats["mean"] == 0.0

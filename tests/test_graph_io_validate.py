@@ -1,0 +1,74 @@
+"""Tests for graph IO and the ground-truth oracles."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList, complete_graph, erdos_renyi, read_edgelist, write_edgelist
+from repro.graph.validate import brute_force_mincut, networkx_components, networkx_mincut
+from repro.rng import philox_stream
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, rng):
+        g = erdos_renyi(40, 80, rng, weighted=True)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        h = read_edgelist(path)
+        assert h == g
+
+    def test_roundtrip_empty(self, tmp_path):
+        g = EdgeList.empty(7)
+        path = tmp_path / "empty.txt"
+        write_edgelist(g, path)
+        h = read_edgelist(path)
+        assert h.n == 7 and h.m == 0
+
+    def test_header_comment_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n# another\n2 1\n0 1 3.5\n")
+        g = read_edgelist(path)
+        assert g.n == 2 and g.m == 1 and g.w[0] == 3.5
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+    def test_wrong_edge_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 2\n0 1 1.0\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+
+class TestOracles:
+    def test_brute_force_triangle(self):
+        assert brute_force_mincut(complete_graph(3)) == 2.0
+
+    def test_brute_force_disconnected(self):
+        g = EdgeList.from_pairs(4, [(0, 1), (2, 3)])
+        assert brute_force_mincut(g) == 0.0
+
+    def test_brute_force_matches_networkx(self, rng):
+        for seed in range(5):
+            g = erdos_renyi(9, 20, philox_stream(seed), weighted=True)
+            if networkx_components(g) != 1:
+                continue
+            assert brute_force_mincut(g) == networkx_mincut(g)
+
+    def test_brute_force_size_guard(self):
+        with pytest.raises(ValueError):
+            brute_force_mincut(complete_graph(21))
+        with pytest.raises(ValueError):
+            brute_force_mincut(EdgeList.empty(1))
+
+    def test_networkx_components_counts_isolated(self):
+        g = EdgeList.from_pairs(5, [(0, 1)])
+        assert networkx_components(g) == 4

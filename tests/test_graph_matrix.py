@@ -1,0 +1,102 @@
+"""Tests for the dense adjacency-matrix representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AdjacencyMatrix, EdgeList, complete_graph
+
+
+class TestConstruction:
+    def test_from_edgelist_combines_parallels(self):
+        g = EdgeList.from_pairs(3, [(0, 1, 1.0), (0, 1, 2.0), (1, 2, 1.0)])
+        a = AdjacencyMatrix.from_edgelist(g)
+        assert a.a[0, 1] == 3.0
+        assert a.a[1, 0] == 3.0
+        assert a.m == 2
+
+    def test_total_weight(self):
+        g = complete_graph(4, weight=2.0)
+        a = AdjacencyMatrix.from_edgelist(g)
+        assert a.total_weight() == 12.0
+        assert a.total_weight() == g.total_weight()
+
+    def test_validation_square(self):
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(np.zeros((2, 3)))
+
+    def test_validation_symmetric(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(bad)
+
+    def test_validation_diagonal(self):
+        bad = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(bad)
+
+    def test_validation_negative(self):
+        bad = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(bad)
+
+    def test_roundtrip_edgelist(self):
+        g = EdgeList.from_pairs(4, [(0, 1, 2.0), (2, 3, 1.5)])
+        back = AdjacencyMatrix.from_edgelist(g).to_edgelist()
+        assert sorted(back.as_tuples()) == sorted(g.as_tuples())
+
+
+class TestContract:
+    def test_merge_two_vertices(self):
+        g = EdgeList.from_pairs(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        a = AdjacencyMatrix.from_edgelist(g)
+        # merge 0 and 1 -> new vertex 0
+        out = a.contract(np.array([0, 0, 1]), 2)
+        assert out.n == 2
+        assert out.a[0, 1] == 5.0  # 1-2 and 0-2 combine
+        assert out.a[0, 0] == 0.0  # loop removed
+
+    def test_identity_contraction(self):
+        a = AdjacencyMatrix.from_edgelist(complete_graph(5))
+        out = a.contract(np.arange(5), 5)
+        assert np.array_equal(out.a, a.a)
+
+    def test_contract_to_two(self):
+        a = AdjacencyMatrix.from_edgelist(complete_graph(4))
+        out = a.contract(np.array([0, 0, 1, 1]), 2)
+        assert out.a[0, 1] == 4.0  # the 4 crossing edges of K4
+
+    def test_contract_preserves_total_crossing_weight(self):
+        g = complete_graph(6)
+        a = AdjacencyMatrix.from_edgelist(g)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        out = a.contract(labels, 3)
+        # every pair of groups has 2*2 = 4 unit edges between them
+        assert out.a[0, 1] == 4.0
+        assert out.a[0, 2] == 4.0
+        assert out.a[1, 2] == 4.0
+
+    def test_invalid_labels(self):
+        a = AdjacencyMatrix.from_edgelist(complete_graph(3))
+        with pytest.raises(ValueError):
+            a.contract(np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            a.contract(np.array([0, 1, 5]), 2)
+
+
+class TestCutValue:
+    def test_matches_edgelist(self):
+        g = EdgeList.from_pairs(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0)])
+        a = AdjacencyMatrix.from_edgelist(g)
+        side = np.array([True, True, False, False])
+        assert a.cut_value(side) == g.cut_value(side)
+
+    def test_rejects_trivial(self):
+        a = AdjacencyMatrix.from_edgelist(complete_graph(3))
+        with pytest.raises(ValueError):
+            a.cut_value(np.zeros(3, dtype=bool))
+
+    def test_copy_independent(self):
+        a = AdjacencyMatrix.from_edgelist(complete_graph(3))
+        b = a.copy()
+        b.a[0, 1] = 9.0
+        assert a.a[0, 1] == 1.0

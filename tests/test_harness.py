@@ -1,0 +1,129 @@
+"""Tests for the measurement harness and reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    Datapoint,
+    Series,
+    format_table,
+    measure,
+    median_ci,
+    write_experiment_record,
+)
+
+
+class TestMedianCI:
+    def test_single_value(self):
+        assert median_ci([3.0]) == (3.0, 3.0)
+
+    def test_symmetric_data(self):
+        lo, hi = median_ci(list(range(1, 100)))
+        assert lo <= 50 <= hi
+        assert hi - lo < 25
+
+    def test_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(10, 1, 10).tolist()
+        large = rng.normal(10, 1, 200).tolist()
+        lo_s, hi_s = median_ci(small)
+        lo_l, hi_l = median_ci(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_ci([])
+
+
+class TestMeasure:
+    def test_constant_metric_stops_early(self):
+        calls = []
+
+        def metric(seed):
+            calls.append(seed)
+            return 5.0
+
+        dp = measure(metric, min_repetitions=5, max_repetitions=31)
+        assert dp.median == 5.0
+        assert dp.repetitions == 5
+        assert dp.ci_ok
+
+    def test_seeds_are_consecutive(self):
+        seen = []
+        measure(lambda s: seen.append(s) or 1.0, seed_base=100,
+                min_repetitions=3, max_repetitions=3)
+        assert seen == [100, 101, 102]
+
+    def test_noisy_metric_adds_repetitions(self):
+        rng = np.random.default_rng(1)
+
+        def metric(seed):
+            return float(rng.uniform(1, 100))
+
+        dp = measure(metric, min_repetitions=5, max_repetitions=15)
+        assert dp.repetitions > 5
+
+    def test_max_repetitions_respected(self):
+        rng = np.random.default_rng(2)
+        dp = measure(lambda s: float(rng.uniform(0, 1e6)),
+                     min_repetitions=3, max_repetitions=7)
+        assert dp.repetitions <= 7
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            measure(lambda s: 1.0, min_repetitions=0)
+        with pytest.raises(ValueError):
+            measure(lambda s: 1.0, min_repetitions=5, max_repetitions=2)
+
+    def test_datapoint_ci_ok_zero(self):
+        dp = Datapoint(median=0.0, ci_low=0.0, ci_high=0.0, repetitions=5)
+        assert dp.ci_ok
+
+
+class TestSeries:
+    def test_add_and_rows(self):
+        s = Series("cc")
+        s.add(1, 10.0)
+        s.add(2, 5.0)
+        assert s.as_rows() == [(1.0, 10.0), (2.0, 5.0)]
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = format_table("T", ["x"], [])
+        assert "x" in out
+
+    def test_float_formatting(self):
+        out = format_table("T", ["v"], [[1234567.0], [0.0000123], [0.0]])
+        assert "e+06" in out or "1.235e+06" in out
+        assert "e-05" in out
+        assert "0" in out
+
+
+class TestExperimentRecord:
+    def test_writes_json(self, tmp_path):
+        path = write_experiment_record(
+            "fig1", description="d", headers=["p", "t"],
+            rows=[[1, np.float64(2.0)], [2, 1.0]],
+            notes="n", results_dir=tmp_path,
+        )
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "fig1"
+        assert data["rows"] == [[1, 2.0], [2, 1.0]]
+        assert data["notes"] == "n"
+
+    def test_creates_directory(self, tmp_path):
+        path = write_experiment_record(
+            "x", description="", headers=[], rows=[],
+            results_dir=tmp_path / "nested" / "dir",
+        )
+        assert path.exists()

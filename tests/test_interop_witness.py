@@ -1,0 +1,81 @@
+"""Tests for networkx interop and the multi-candidate AppMC witness."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import approx_minimum_cut, connected_components, minimum_cut
+from repro.graph import EdgeList, erdos_renyi
+from repro.graph.validate import networkx_mincut
+from repro.rng import philox_stream
+
+
+class TestFromNetworkx:
+    def test_roundtrip(self):
+        g = erdos_renyi(40, 100, philox_stream(95), weighted=True)
+        back = EdgeList.from_networkx(g.to_networkx())
+        assert back.n == g.n
+        assert sorted(back.as_tuples()) == sorted(g.as_tuples())
+
+    def test_arbitrary_node_labels(self):
+        h = nx.Graph()
+        h.add_edge("alice", "bob", weight=2.0)
+        h.add_edge("bob", "carol")
+        g = EdgeList.from_networkx(h)
+        assert g.n == 3 and g.m == 2
+        assert sorted(g.w.tolist()) == [1.0, 2.0]
+
+    def test_multigraph_parallel_edges(self):
+        h = nx.MultiGraph()
+        h.add_edge(0, 1, weight=1.0)
+        h.add_edge(0, 1, weight=3.0)
+        g = EdgeList.from_networkx(h)
+        assert g.m == 2
+        assert g.total_weight() == 4.0
+
+    def test_self_loops_dropped(self):
+        h = nx.Graph()
+        h.add_edge(0, 0)
+        h.add_edge(0, 1)
+        g = EdgeList.from_networkx(h)
+        assert g.m == 1
+
+    def test_isolated_nodes_kept(self):
+        h = nx.Graph()
+        h.add_nodes_from(range(5))
+        h.add_edge(0, 1)
+        g = EdgeList.from_networkx(h)
+        assert g.n == 5
+        assert connected_components(g, p=2, seed=0).n_components == 4
+
+    def test_empty(self):
+        g = EdgeList.from_networkx(nx.Graph())
+        assert g.n == 0 and g.m == 0
+
+
+class TestAppMCWitnessQuality:
+    def test_witness_bounds_truth_from_above(self):
+        g = erdos_renyi(50, 300, philox_stream(96), weighted=True)
+        truth = networkx_mincut(g)
+        for seed in range(5):
+            r = approx_minimum_cut(g, p=3, seed=seed)
+            assert r.witness_value is not None
+            assert r.witness_value >= truth - 1e-9
+            assert g.cut_value(r.witness_side) == pytest.approx(r.witness_value)
+
+    def test_witness_often_tight(self):
+        """Picking the best of all disconnected trials' candidates keeps the
+        witness within a small factor of the optimum on most seeds."""
+        g = erdos_renyi(60, 360, philox_stream(97), weighted=True)
+        truth = networkx_mincut(g)
+        ratios = []
+        for seed in range(8):
+            r = approx_minimum_cut(g, p=3, seed=seed)
+            ratios.append(r.witness_value / truth)
+        assert np.median(ratios) < 2.0, ratios
+
+    def test_pipelined_witness_consistent(self):
+        g = erdos_renyi(40, 200, philox_stream(98), weighted=True)
+        r = approx_minimum_cut(g, p=2, seed=3, pipelined=True)
+        if r.witness_side is not None:
+            assert g.cut_value(r.witness_side) == pytest.approx(r.witness_value)

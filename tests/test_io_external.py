@@ -1,0 +1,138 @@
+"""Tests for SNAP reading, chunked streaming, and semi-external CC."""
+
+import numpy as np
+import pytest
+
+from repro.core.external import cc_semi_external
+from repro.graph import EdgeList, erdos_renyi, write_edgelist
+from repro.graph.io import read_snap, stream_edge_chunks
+from repro.graph.validate import networkx_components
+from repro.rng import philox_stream
+
+
+class TestReadSnap:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP comment\n# another\n0\t1\n1\t2\n2\t0\n")
+        g = read_snap(path)
+        assert g.n == 3 and g.m == 3
+
+    def test_sparse_ids_compacted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 999\n")
+        g = read_snap(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_explicit_n_keeps_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n")
+        g = read_snap(path, n=10)
+        assert g.n == 10
+        assert g.as_tuples() == [(0, 5, 1.0)]
+
+    def test_explicit_n_too_small(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n")
+        with pytest.raises(ValueError):
+            read_snap(path, n=3)
+
+    def test_dedup_and_loops(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n0 0\n0 1\n")
+        g = read_snap(path)
+        assert g.m == 1
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_snap(path)
+        assert g.n == 0 and g.m == 0
+
+
+class TestStreamChunks:
+    def test_roundtrip_all_edges(self, tmp_path):
+        g = erdos_renyi(50, 200, philox_stream(90), weighted=True)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        chunks = list(stream_edge_chunks(path, chunk_edges=37))
+        u = np.concatenate([c[0] for c in chunks])
+        v = np.concatenate([c[1] for c in chunks])
+        w = np.concatenate([c[2] for c in chunks])
+        assert np.array_equal(u, g.u)
+        assert np.array_equal(v, g.v)
+        assert np.allclose(w, g.w)
+        assert all(c[0].size <= 37 for c in chunks)
+
+    def test_single_chunk(self, tmp_path):
+        g = erdos_renyi(20, 40, philox_stream(91))
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        chunks = list(stream_edge_chunks(path, chunk_edges=1000))
+        assert len(chunks) == 1
+
+    def test_invalid_chunk_size(self, tmp_path):
+        g = EdgeList.from_pairs(2, [(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        with pytest.raises(ValueError):
+            list(stream_edge_chunks(path, chunk_edges=0))
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 5\n0 1 1.0\n")
+        with pytest.raises(ValueError):
+            list(stream_edge_chunks(path))
+
+
+class TestSemiExternalCC:
+    def test_matches_networkx(self, tmp_path):
+        g = erdos_renyi(300, 450, philox_stream(92))
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        labels, count = cc_semi_external(path, g.n, chunk_edges=64)
+        assert count == networkx_components(g)
+        assert (labels[g.u] == labels[g.v]).all()
+
+    def test_matches_in_memory_cc(self, tmp_path):
+        from repro.core import cc_sequential
+
+        g = erdos_renyi(150, 200, philox_stream(93))
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        ext_labels, ext_count = cc_semi_external(path, g.n)
+        mem_labels, mem_count = cc_sequential(g, seed=0)
+        assert ext_count == mem_count
+
+    def test_bounded_memory_instrumented(self, tmp_path):
+        """Only the parent array is ever resident — semi-external claim."""
+        from repro.cache import LRUTracker
+
+        g = erdos_renyi(100, 2000, philox_stream(94))
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        mem = LRUTracker(M=4096, B=8)
+        labels, count = cc_semi_external(path, g.n, chunk_edges=128, mem=mem)
+        assert count == networkx_components(g)
+        # resident working set = parent array only: misses ~ n/B, far below m
+        assert mem.miss_count < g.m / 2
+
+    def test_empty_graph(self, tmp_path):
+        g = EdgeList.empty(5)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        labels, count = cc_semi_external(path, 5)
+        assert count == 5
+
+    def test_endpoint_out_of_range(self, tmp_path):
+        g = EdgeList.from_pairs(4, [(0, 3)])
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        with pytest.raises(ValueError):
+            cc_semi_external(path, 2)
+
+    def test_negative_n(self, tmp_path):
+        g = EdgeList.empty(1)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        with pytest.raises(ValueError):
+            cc_semi_external(path, -1)

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These encode the structural facts the paper's correctness rests on:
+contraction never decreases the minimum cut (§2.4), every algorithm's
+witness is a real cut of the reported value, partitions agree across all
+implementations, and the sampling primitives preserve their marginals.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.baselines import bgl_cc, galois_cc, karger_stein, pbgl_cc, stoer_wagner
+from repro.core import approx_minimum_cut, connected_components, minimum_cut
+from repro.core.contraction import prefix_select
+from repro.graph import AdjacencyMatrix, EdgeList
+from repro.graph.contract import contract_edges
+from repro.graph.validate import brute_force_mincut, networkx_components
+
+
+@st.composite
+def small_graphs(draw, max_n=12, max_m=30, weighted=True):
+    """Random multigraphs with at least one edge."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(st.floats(min_value=0.5, max_value=8)) if weighted else 1.0
+        edges.append((u, v, w))
+    assume(edges)
+    return EdgeList.from_pairs(n, edges)
+
+
+common = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestContractionInvariants:
+    @given(small_graphs(), st.integers(min_value=0, max_value=10 ** 6))
+    @common
+    def test_contraction_never_decreases_mincut(self, g, pick):
+        idx = np.array([pick % g.m])
+        h, labels = contract_edges(g, idx)
+        assume(h.n >= 2)
+        before = brute_force_mincut(g)
+        after = brute_force_mincut(h)
+        assert after >= before - 1e-9
+
+    @given(small_graphs())
+    @common
+    def test_contraction_preserves_components(self, g):
+        idx = np.array([0])
+        h, labels = contract_edges(g, idx)
+        assert networkx_components(g) == networkx_components(h) + (g.n - h.n) - (g.n - h.n)
+        # component count is invariant under edge contraction
+        assert networkx_components(h) == networkx_components(g)
+
+    @given(small_graphs(), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @common
+    def test_prefix_select_respects_target(self, g, t, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.m)
+        labels, k = prefix_select(g.n, g.u[perm], g.v[perm], t)
+        assert k >= min(t, networkx_components(g))
+        assert labels.size == g.n
+        assert sorted(np.unique(labels).tolist()) == list(range(k))
+
+
+class TestCutInvariants:
+    @given(small_graphs(), st.integers(min_value=0, max_value=100))
+    @common
+    def test_minimum_cut_witness_consistent(self, g, seed):
+        r = minimum_cut(g, p=2, seed=seed, trials=3)
+        if r.value > 0:
+            assert g.cut_value(r.side) == pytest.approx(r.value)
+        truth = brute_force_mincut(g)
+        assert r.value >= truth - 1e-9
+
+    @given(small_graphs())
+    @common
+    def test_exact_algorithms_agree(self, g):
+        assume(networkx_components(g) == 1)
+        sw_val, _ = stoer_wagner(g)
+        mc = minimum_cut(g, p=2, seed=5)
+        ks_val, _ = karger_stein(g, seed=5)
+        assert mc.value == pytest.approx(sw_val)
+        assert ks_val == pytest.approx(sw_val)
+
+    @given(small_graphs(), st.integers(min_value=0, max_value=50))
+    @common
+    def test_approx_witness_is_upper_bound(self, g, seed):
+        r = approx_minimum_cut(g, p=2, seed=seed)
+        truth = brute_force_mincut(g)
+        if r.witness_value is not None:
+            assert r.witness_value >= truth - 1e-9
+
+    @given(small_graphs())
+    @common
+    def test_matrix_and_edgelist_cuts_agree(self, g):
+        a = AdjacencyMatrix.from_edgelist(g)
+        side = np.zeros(g.n, dtype=bool)
+        side[0] = True
+        assert a.cut_value(side) == pytest.approx(g.cut_value(side))
+
+
+class TestComponentInvariants:
+    @given(small_graphs(weighted=False), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=50))
+    @common
+    def test_cc_matches_all_baselines(self, g, p, seed):
+        truth = networkx_components(g)
+        assert connected_components(g, p=p, seed=seed).n_components == truth
+        assert bgl_cc(g)[1] == truth
+        assert galois_cc(g)[1] == truth
+        assert pbgl_cc(g, p=p)[1] == truth
+
+    @given(small_graphs(weighted=False), st.integers(min_value=0, max_value=20))
+    @common
+    def test_cc_labels_consistent_with_edges(self, g, seed):
+        res = connected_components(g, p=3, seed=seed)
+        assert (res.labels[g.u] == res.labels[g.v]).all()
+        assert res.labels.max() == res.n_components - 1
+
+    @given(small_graphs(weighted=False))
+    @common
+    def test_component_count_bounds(self, g):
+        res = connected_components(g, p=2, seed=0)
+        assert max(1, g.n - g.m) <= res.n_components <= g.n

@@ -1,0 +1,154 @@
+"""Tests for weighted sampling primitives (incl. distribution properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    AliasSampler,
+    CumulativeWeightSampler,
+    multinomial_split,
+    sample_without_replacement,
+)
+from repro.rng.streams import philox_stream
+
+
+def chi_square_ok(observed, expected, slack=6.0):
+    """Loose chi-square sanity bound (expected counts must be > 0)."""
+    observed = np.asarray(observed, dtype=float)
+    expected = np.asarray(expected, dtype=float)
+    stat = ((observed - expected) ** 2 / expected).sum()
+    dof = max(1, observed.size - 1)
+    return stat < slack * dof
+
+
+class TestCumulativeWeightSampler:
+    def test_respects_weights(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        s = CumulativeWeightSampler(w)
+        rng = philox_stream(0)
+        idx = s.sample(rng, 40_000)
+        counts = np.bincount(idx, minlength=4)
+        assert chi_square_ok(counts, 40_000 * w / w.sum())
+
+    def test_zero_weight_never_sampled(self):
+        w = np.array([1.0, 0.0, 1.0])
+        s = CumulativeWeightSampler(w)
+        idx = s.sample(philox_stream(1), 10_000)
+        assert not (idx == 1).any()
+
+    def test_single_element(self):
+        s = CumulativeWeightSampler(np.array([5.0]))
+        assert (s.sample(philox_stream(2), 100) == 0).all()
+
+    def test_k_zero(self):
+        s = CumulativeWeightSampler(np.array([1.0, 1.0]))
+        assert s.sample(philox_stream(0), 0).size == 0
+
+    def test_len_and_total(self):
+        s = CumulativeWeightSampler(np.array([1.0, 3.0]))
+        assert len(s) == 2
+        assert s.total == 4.0
+
+    @pytest.mark.parametrize("bad", [
+        np.zeros(0), np.array([[1.0]]), np.array([-1.0, 2.0]), np.array([0.0, 0.0]),
+    ])
+    def test_invalid_weights(self, bad):
+        with pytest.raises(ValueError):
+            CumulativeWeightSampler(bad)
+
+    def test_negative_k(self):
+        s = CumulativeWeightSampler(np.array([1.0]))
+        with pytest.raises(ValueError):
+            s.sample(philox_stream(0), -1)
+
+
+class TestAliasSampler:
+    def test_respects_weights(self):
+        w = np.array([10.0, 1.0, 5.0, 4.0])
+        s = AliasSampler(w)
+        idx = s.sample(philox_stream(3), 40_000)
+        counts = np.bincount(idx, minlength=4)
+        assert chi_square_ok(counts, 40_000 * w / w.sum())
+
+    def test_matches_cumulative_distribution(self):
+        w = philox_stream(4).random(32) + 0.01
+        a = AliasSampler(w).sample(philox_stream(5), 50_000)
+        c = CumulativeWeightSampler(w).sample(philox_stream(6), 50_000)
+        ca = np.bincount(a, minlength=32) / 50_000
+        cc = np.bincount(c, minlength=32) / 50_000
+        assert np.abs(ca - cc).max() < 0.01
+
+    def test_uniform_weights(self):
+        s = AliasSampler(np.ones(8))
+        idx = s.sample(philox_stream(7), 16_000)
+        counts = np.bincount(idx, minlength=8)
+        assert chi_square_ok(counts, np.full(8, 2000.0))
+
+    @pytest.mark.parametrize("bad", [
+        np.zeros(0), np.array([-1.0, 2.0]), np.array([0.0, 0.0]),
+    ])
+    def test_invalid_weights(self, bad):
+        with pytest.raises(ValueError):
+            AliasSampler(bad)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_always_in_range(self, weights):
+        s = AliasSampler(np.array(weights))
+        idx = s.sample(philox_stream(0), 200)
+        assert idx.min() >= 0 and idx.max() < len(weights)
+
+
+class TestMultinomialSplit:
+    def test_total_preserved(self):
+        counts = multinomial_split(philox_stream(1), 1000, np.array([1.0, 2.0, 3.0]))
+        assert counts.sum() == 1000
+
+    def test_zero_weight_bin_gets_nothing(self):
+        counts = multinomial_split(philox_stream(2), 500, np.array([1.0, 0.0, 1.0]))
+        assert counts[1] == 0
+
+    def test_proportionality(self):
+        w = np.array([1.0, 4.0])
+        totals = np.zeros(2)
+        for seed in range(30):
+            totals += multinomial_split(philox_stream(seed), 1000, w)
+        assert abs(totals[1] / totals.sum() - 0.8) < 0.02
+
+    def test_zero_total(self):
+        counts = multinomial_split(philox_stream(0), 0, np.array([1.0]))
+        assert counts.sum() == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            multinomial_split(philox_stream(0), -1, np.array([1.0]))
+        with pytest.raises(ValueError):
+            multinomial_split(philox_stream(0), 5, np.array([0.0]))
+        with pytest.raises(ValueError):
+            multinomial_split(philox_stream(0), 5, np.zeros(0))
+
+    @given(st.integers(min_value=0, max_value=5000),
+           st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_property(self, total, weights):
+        counts = multinomial_split(philox_stream(0), total, np.array(weights))
+        assert counts.sum() == total
+        assert (counts >= 0).all()
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        idx = sample_without_replacement(philox_stream(1), 100, 50)
+        assert np.unique(idx).size == 50
+
+    def test_full_population(self):
+        idx = sample_without_replacement(philox_stream(1), 10, 10)
+        assert sorted(idx.tolist()) == list(range(10))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(philox_stream(1), 5, 6)
+        with pytest.raises(ValueError):
+            sample_without_replacement(philox_stream(1), 5, -1)

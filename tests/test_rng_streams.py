@@ -1,0 +1,81 @@
+"""Tests for the Philox stream families."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngStreams, philox_stream
+
+
+class TestPhiloxStream:
+    def test_deterministic(self):
+        a = philox_stream(7, 3).random(16)
+        b = philox_stream(7, 3).random(16)
+        assert np.array_equal(a, b)
+
+    def test_streams_differ_by_id(self):
+        a = philox_stream(7, 0).random(16)
+        b = philox_stream(7, 1).random(16)
+        assert not np.array_equal(a, b)
+
+    def test_streams_differ_by_seed(self):
+        a = philox_stream(1, 0).random(16)
+        b = philox_stream(2, 0).random(16)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            philox_stream(-1)
+
+    def test_rejects_negative_stream(self):
+        with pytest.raises(ValueError):
+            philox_stream(0, -1)
+
+    def test_uniformity_sanity(self):
+        x = philox_stream(42).random(100_000)
+        assert abs(x.mean() - 0.5) < 0.01
+        assert abs(x.var() - 1 / 12) < 0.01
+
+
+class TestRngStreams:
+    def test_rank_streams_independent(self):
+        fam = RngStreams(9)
+        a = fam.for_rank(0).random(8)
+        b = fam.for_rank(1).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_rank_stream_reproducible(self):
+        fam = RngStreams(9)
+        assert np.array_equal(fam.for_rank(5).random(8),
+                              RngStreams(9).for_rank(5).random(8))
+
+    def test_aux_disjoint_from_ranks(self):
+        fam = RngStreams(9)
+        aux = fam.aux(0).random(8)
+        for r in range(8):
+            assert not np.array_equal(aux, fam.for_rank(r).random(8))
+
+    def test_spawn_children_differ(self):
+        fam = RngStreams(3)
+        c0 = fam.spawn(0)
+        c1 = fam.spawn(1)
+        assert c0.seed != c1.seed
+        assert not np.array_equal(c0.for_rank(0).random(4),
+                                  c1.for_rank(0).random(4))
+
+    def test_spawn_deterministic(self):
+        assert RngStreams(3).spawn(2).seed == RngStreams(3).spawn(2).seed
+
+    def test_rank_bounds(self):
+        fam = RngStreams(1)
+        with pytest.raises(ValueError):
+            fam.for_rank(-1)
+        with pytest.raises(ValueError):
+            fam.for_rank(1 << 20)
+
+    def test_aux_bounds(self):
+        with pytest.raises(ValueError):
+            RngStreams(1).aux(-1)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(-5)
