@@ -1,0 +1,17 @@
+"""Benchmark harness package.
+
+The per-figure benchmark scripts import their shared helpers with a flat
+``from common import ...`` so they can be run directly from this directory
+(``pytest benchmarks/bench_fig1...``).  Importing the package — e.g. for
+``python -m benchmarks.perf_gate`` — puts this directory on ``sys.path`` so
+the flat imports keep resolving either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

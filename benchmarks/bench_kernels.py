@@ -1,0 +1,198 @@
+"""Microbenchmarks of the vectorized kernel layer vs its scalar references.
+
+Each benchmark times one :mod:`repro.kernels` entry point against the
+original per-element Python loop it replaced (kept verbatim in
+``repro.kernels.reference``) on the same inputs, and reports wall-clock
+seconds plus the speedup ratio.  The regression gate
+(``python -m benchmarks.perf_gate --check``) runs these and fails if the
+vectorized timings regress past the blessed baseline or a speedup falls
+under its floor.
+
+Run standalone::
+
+    PYTHONPATH=src python -m benchmarks.bench_kernels [--scale N] [--json]
+
+``--scale`` multiplies every input size (default 1.0: a 10^5-edge
+multigraph for the contraction benchmark, matching the acceptance
+criterion); ``--json`` prints machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bsp.comm import payload_words
+from repro.kernels import (
+    bulk_contract_edges,
+    cc_roots,
+    prefix_select_labels,
+    scalar_bulk_contract,
+    scalar_cc_roots,
+    scalar_prefix_select,
+)
+
+__all__ = ["run_benchmarks", "BENCHES"]
+
+#: Default sizes at --scale 1.0.
+_CONTRACT_EDGES = 100_000
+_CONTRACT_N = 5_000
+_CC_EDGES = 60_000
+_CC_N = 30_000
+_PREFIX_EDGES = 40_000
+_PREFIX_N = 20_000
+_PAYLOAD_PARCELS = 20_000
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    """Minimum wall-clock of ``repeats`` runs (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _multigraph(rng, n: int, m: int):
+    """Random multigraph edges: heavy on parallel edges and self-loops."""
+    # Sampling endpoints from sqrt(n*m)-ish support makes parallel classes
+    # common, which is the work the combine step exists to do.
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n, size=m, dtype=np.int64)
+    loops = rng.random(m) < 0.05
+    v[loops] = u[loops]
+    w = rng.random(m) + 0.5
+    return u, v, w
+
+
+def bench_contract(scale: float, rng) -> dict:
+    """Bulk contraction of a random multigraph: kernel vs dict loop."""
+    m = max(16, int(_CONTRACT_EDGES * scale))
+    n = max(8, int(_CONTRACT_N * scale))
+    u, v, w = _multigraph(rng, n, m)
+    n_new = max(2, n // 3)
+    labels = rng.integers(0, n_new, size=n, dtype=np.int64)
+
+    fast_t, fast = _best_of(lambda: bulk_contract_edges(u, v, w, labels, n_new))
+    slow_t, slow = _best_of(
+        lambda: scalar_bulk_contract(u, v, w, labels, n_new), repeats=1
+    )
+    assert np.array_equal(fast[0], slow[0]) and np.array_equal(fast[1], slow[1]) \
+        and np.allclose(fast[2], slow[2], rtol=1e-12, atol=0.0), \
+        "vectorized contraction disagrees with scalar reference"
+    return {"m": m, "fast_s": fast_t, "slow_s": slow_t,
+            "speedup": slow_t / fast_t}
+
+
+def bench_cc(scale: float, rng) -> dict:
+    """Connected-component roots: compiled/vectorized vs per-edge loop."""
+    m = max(16, int(_CC_EDGES * scale))
+    n = max(8, int(_CC_N * scale))
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n, size=m, dtype=np.int64)
+
+    fast_t, fast = _best_of(lambda: cc_roots(n, u, v))
+    jump_t, jump = _best_of(lambda: cc_roots(n, u, v, backend="jumping"))
+    slow_t, slow = _best_of(lambda: scalar_cc_roots(n, u, v), repeats=1)
+    assert np.array_equal(fast, slow) and np.array_equal(jump, slow), \
+        "cc backends disagree"
+    return {"m": m, "fast_s": fast_t, "jumping_s": jump_t, "slow_s": slow_t,
+            "speedup": slow_t / fast_t}
+
+
+def bench_prefix_select(scale: float, rng) -> dict:
+    """Prefix Selection: MSF-replay kernel vs incremental union-find loop."""
+    m = max(16, int(_PREFIX_EDGES * scale))
+    n = max(8, int(_PREFIX_N * scale))
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n, size=m, dtype=np.int64)
+    t = max(2, n // 10)
+
+    fast_t, fast = _best_of(lambda: prefix_select_labels(n, u, v, t))
+    slow_t, slow = _best_of(lambda: scalar_prefix_select(n, u, v, t), repeats=1)
+    assert np.array_equal(fast[0], slow[0]) and fast[1] == slow[1], \
+        "prefix_select kernels disagree"
+    return {"m": m, "fast_s": fast_t, "slow_s": slow_t,
+            "speedup": slow_t / fast_t}
+
+
+def _generic_payload_words(x):
+    """The pre-fast-path generic walk, kept here as the timing reference."""
+    if x is None:
+        return 0
+    if isinstance(x, np.ndarray):
+        return int(x.size)
+    if hasattr(x, "__bsp_words__"):
+        return int(x.__bsp_words__())
+    if isinstance(x, (list, tuple)):
+        return sum(_generic_payload_words(item) for item in x)
+    if isinstance(x, dict):
+        return sum(1 + _generic_payload_words(vv) for vv in x.values())
+    return 1
+
+
+def bench_payload_words(scale: float, rng) -> dict:
+    """Wire-volume accounting of sort parcels: fast path vs generic walk."""
+    k = max(16, int(_PAYLOAD_PARCELS * scale))
+    parcels = [
+        (np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64),
+         np.zeros(3, dtype=np.float64))
+        for _ in range(k)
+    ]
+    fast_t, fast = _best_of(lambda: payload_words(parcels))
+    slow_t, slow = _best_of(lambda: _generic_payload_words(parcels))
+    assert fast == slow, "payload_words fast path disagrees with generic walk"
+    return {"parcels": k, "fast_s": fast_t, "slow_s": slow_t,
+            "speedup": slow_t / fast_t}
+
+
+#: name -> benchmark callable(scale, rng) -> result dict.
+BENCHES = {
+    "contract": bench_contract,
+    "cc": bench_cc,
+    "prefix_select": bench_prefix_select,
+    "payload_words": bench_payload_words,
+}
+
+
+def run_benchmarks(scale: float = 1.0, seed: int = 0, names=None) -> dict:
+    """Run the selected microbenchmarks; returns ``{name: result_dict}``."""
+    rng = np.random.default_rng(seed)
+    out = {}
+    for name, fn in BENCHES.items():
+        if names is not None and name not in names:
+            continue
+        out[name] = fn(scale, rng)
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="input size multiplier (default 1.0)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--json", action="store_true",
+                    help="print machine-readable JSON instead of a table")
+    ap.add_argument("--bench", action="append", choices=sorted(BENCHES),
+                    help="run only the named benchmark (repeatable)")
+    args = ap.parse_args(argv)
+
+    results = run_benchmarks(args.scale, args.seed, names=args.bench)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+        return 0
+    print(f"kernel microbenchmarks (scale={args.scale:g})")
+    print(f"{'bench':<16}{'vectorized':>12}{'scalar':>12}{'speedup':>10}")
+    for name, r in results.items():
+        print(f"{name:<16}{r['fast_s']:>11.4f}s{r['slow_s']:>11.4f}s"
+              f"{r['speedup']:>9.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

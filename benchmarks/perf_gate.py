@@ -1,0 +1,207 @@
+"""Benchmark regression gate for the vectorized kernel layer.
+
+Two kinds of baseline live in ``results/perf_baseline.json``:
+
+* **Counter fingerprints** — BSP counter reports (ops, misses, volumes,
+  supersteps) and result values of six fixed Fig-1/Fig-3-style workloads.
+  These are *exact*: the cost model is analytic, so any drift means an
+  algorithmic change (intended → re-bless, unintended → a bug).  This is
+  the check that proves vectorization did not alter a single simulated
+  trajectory.
+* **Kernel timings** — wall-clock seconds and speedup ratios of the
+  :mod:`benchmarks.bench_kernels` microbenchmarks.  Checked with slack
+  (machine noise is real): a vectorized timing may not exceed
+  ``slack x baseline`` (default 2.0, override with ``PERF_GATE_SLACK``),
+  and each speedup ratio must stay above its floor — 10x for the
+  contraction kernel (the acceptance bar), 1.2x elsewhere.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf_gate --check     # gate
+    PYTHONPATH=src python -m benchmarks.perf_gate --rebless   # new baseline
+
+``--check`` exits 1 with a readable diff on any regression, 2 if no
+baseline has been blessed yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from bench_kernels import run_benchmarks
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BASELINE_PATH = RESULTS_DIR / "perf_baseline.json"
+
+#: Wall-clock slack multiplier for timing checks (noise tolerance).
+DEFAULT_SLACK = 2.0
+
+#: Minimum vectorized-over-scalar speedup per microbenchmark.
+SPEEDUP_FLOORS = {
+    "contract": 10.0,
+    "cc": 1.2,
+    "prefix_select": 1.2,
+    "payload_words": 1.2,
+}
+
+
+def counter_fingerprints() -> dict:
+    """Exact BSP counter fingerprints of six fixed benchmark workloads."""
+    from repro.baselines import galois_cc_parallel, pbgl_cc
+    from repro.core import connected_components, minimum_cut
+    from repro.graph import barabasi_albert, erdos_renyi
+    from repro.rng import philox_stream
+
+    def rep_dict(r):
+        return {k: getattr(r, k) for k in
+                ("p", "computation", "volume", "supersteps", "misses",
+                 "wait", "total_ops", "total_volume")}
+
+    out = {}
+    g1 = erdos_renyi(256, 1024, philox_stream(1), weighted=True)
+    r = minimum_cut(g1, p=4, seed=1, trials=8)
+    out["mincut_sparse_p4"] = {"value": r.value, "report": rep_dict(r.report)}
+    r = minimum_cut(g1, p=8, seed=2, trials=2)  # p > trials: grouped path
+    out["mincut_parallel_p8"] = {"value": r.value, "report": rep_dict(r.report)}
+    g2 = barabasi_albert(2048, 8, philox_stream(3))
+    r = connected_components(g2, p=4, seed=3)
+    out["cc_sparse_p4"] = {"count": int(r.n_components),
+                           "labels_sum": int(r.labels.sum()),
+                           "report": rep_dict(r.report)}
+    labels, count, rep, _t = galois_cc_parallel(g2, p=4, seed=3)
+    out["galois_p4"] = {"count": int(count), "labels_sum": int(labels.sum()),
+                        "report": rep_dict(rep)}
+    labels, count, rep, _t = pbgl_cc(g2, p=4, seed=3)
+    out["pbgl_p4"] = {"count": int(count), "labels_sum": int(labels.sum()),
+                      "report": rep_dict(rep)}
+    r = connected_components(g2, p=4, seed=3, hybrid=True)
+    out["cc_hybrid_p4"] = {"count": int(r.n_components),
+                           "labels_sum": int(r.labels.sum()),
+                           "report": rep_dict(r.report)}
+    return out
+
+
+def measure(scale: float = 1.0, seed: int = 0) -> dict:
+    """Run both baseline sections and return the combined record."""
+    return {
+        "counters": counter_fingerprints(),
+        "timings": run_benchmarks(scale=scale, seed=seed),
+        "meta": {"scale": scale, "seed": seed},
+    }
+
+
+def _diff_counters(base: dict, now: dict, lines: list[str]) -> bool:
+    ok = True
+    for wl in sorted(base):
+        b, n = base[wl], now.get(wl)
+        if n == b:
+            continue
+        ok = False
+        if n is None:
+            lines.append(f"  counters[{wl}]: missing from current run")
+            continue
+        for key in sorted(set(b) | set(n)):
+            bv, nv = b.get(key), n.get(key)
+            if bv == nv:
+                continue
+            if isinstance(bv, dict) and isinstance(nv, dict):
+                for ck in sorted(set(bv) | set(nv)):
+                    if bv.get(ck) != nv.get(ck):
+                        lines.append(
+                            f"  counters[{wl}].{key}.{ck}: "
+                            f"baseline={bv.get(ck)!r} current={nv.get(ck)!r}")
+            else:
+                lines.append(f"  counters[{wl}].{key}: "
+                             f"baseline={bv!r} current={nv!r}")
+    return ok
+
+
+def _check_timings(base: dict, now: dict, slack: float,
+                   lines: list[str]) -> bool:
+    ok = True
+    for name in sorted(base):
+        b, n = base[name], now.get(name)
+        if n is None:
+            ok = False
+            lines.append(f"  timings[{name}]: missing from current run")
+            continue
+        limit = b["fast_s"] * slack
+        if n["fast_s"] > limit:
+            ok = False
+            lines.append(
+                f"  timings[{name}].fast_s: {n['fast_s']:.4f}s exceeds "
+                f"{limit:.4f}s (= {slack:g} x blessed {b['fast_s']:.4f}s)")
+        floor = SPEEDUP_FLOORS.get(name, 1.0)
+        if n["speedup"] < floor:
+            ok = False
+            lines.append(
+                f"  timings[{name}].speedup: {n['speedup']:.1f}x is under "
+                f"the {floor:g}x floor (blessed: {b['speedup']:.1f}x)")
+    return ok
+
+
+def check(scale: float, seed: int, slack: float) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"perf_gate: no baseline at {BASELINE_PATH}; "
+              f"run with --rebless first", file=sys.stderr)
+        return 2
+    base = json.loads(BASELINE_PATH.read_text())
+    now = measure(scale=scale, seed=seed)
+    lines: list[str] = []
+    counters_ok = _diff_counters(base["counters"], now["counters"], lines)
+    timings_ok = _check_timings(base["timings"], now["timings"], slack, lines)
+    if counters_ok and timings_ok:
+        speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
+                           for k, v in sorted(now["timings"].items()))
+        print(f"perf_gate: OK — counters exact, timings within "
+              f"{slack:g}x slack ({speeds})")
+        return 0
+    print("perf_gate: REGRESSION", file=sys.stderr)
+    if not counters_ok:
+        print("  (counter drift means the simulated algorithm changed: fix "
+              "the change, or re-bless if intended)", file=sys.stderr)
+    for line in lines:
+        print(line, file=sys.stderr)
+    print(f"  re-bless (if this change is intended): "
+          f"PYTHONPATH=src python -m benchmarks.perf_gate --rebless",
+          file=sys.stderr)
+    return 1
+
+
+def rebless(scale: float, seed: int) -> int:
+    record = measure(scale=scale, seed=seed)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(record, indent=1, sort_keys=True)
+                             + "\n")
+    speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
+                       for k, v in sorted(record["timings"].items()))
+    print(f"perf_gate: blessed new baseline at {BASELINE_PATH} ({speeds})")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="compare against the blessed baseline")
+    mode.add_argument("--rebless", action="store_true",
+                      help="record the current machine as the new baseline")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="microbenchmark size multiplier (default 1.0)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--slack", type=float,
+                    default=float(os.environ.get("PERF_GATE_SLACK",
+                                                 DEFAULT_SLACK)),
+                    help="timing slack multiplier (env PERF_GATE_SLACK)")
+    args = ap.parse_args(argv)
+    if args.rebless:
+        return rebless(args.scale, args.seed)
+    return check(args.scale, args.seed, args.slack)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from repro.bsp.engine import Engine
 from repro.cache.traced import MemoryTracker, NullTracker
 from repro.graph.contract import compress_labels
 from repro.graph.edgelist import EdgeList
+from repro.kernels import cc_labels, cc_roots, earliest_forest, flatten_parents
 
 __all__ = ["galois_cc", "galois_cc_parallel"]
 
@@ -63,15 +64,15 @@ def galois_cc(
 ) -> tuple[np.ndarray, int]:
     """Sequential asynchronous-style union-find CC; ``(labels, count)``."""
     mem = mem or NullTracker()
+    if isinstance(mem, NullTracker):
+        # Nothing to instrument: the whole pass is the vectorized kernel
+        # (min-wins roots, so the labels match the traced path exactly).
+        return cc_labels(g.n, g.u, g.v)
     mem.alloc("edges", g.m, words_per_elem=2)
     mem.alloc("parent", g.n)
     parent, _ = _union_find_pass(g.n, g.u, g.v, mem)
     # Final flatten so every vertex points at its root.
-    for x in range(g.n):
-        r = x
-        while parent[r] != r:
-            r = parent[r]
-        parent[x] = r
+    parent = flatten_parents(parent)
     mem.scan("parent")
     mem.ops(2 * g.n)
     return compress_labels(parent)
@@ -89,10 +90,10 @@ def _galois_program(ctx, slices, n):
     g = slices[ctx.rank]
     # Asynchronous phase: every core hooks its slice (charged analytically —
     # a streaming edge pass with random parent-array touches plus the
-    # atomic-update cost of the lock-free hooks).
-    _, (fu, fv) = _union_find_pass(
-        n, g.u, g.v, NullTracker()
-    )
+    # atomic-update cost of the lock-free hooks).  The forest a min-wins
+    # union-find merges on is the arrival-order spanning forest, which the
+    # vectorized kernel computes without the per-edge loop.
+    fu, fv = earliest_forest(n, g.u, g.v)
     ctx.charge_scan(g.m, words_per_elem=2)
     ctx.charge_random(3 * g.m, working_set=n)
     ctx.charge(ops=_ATOMIC_COST_OPS * g.m)
@@ -100,12 +101,7 @@ def _galois_program(ctx, slices, n):
     if ctx.rank == 0:
         mu = np.concatenate([f[0] for f in forests])
         mv = np.concatenate([f[1] for f in forests])
-        parent, _ = _union_find_pass(n, mu, mv, NullTracker())
-        for x in range(n):
-            r = x
-            while parent[r] != r:
-                r = parent[r]
-            parent[x] = r
+        parent = cc_roots(n, mu, mv)
         ctx.charge_scan(mu.size, words_per_elem=2)
         ctx.charge_random(3 * mu.size + 2 * n, working_set=n)
         labels, count = compress_labels(parent)

@@ -19,6 +19,7 @@ from typing import Callable
 import numpy as np
 
 from repro.bsp.sort import distributed_sort
+from repro.kernels import combine_sorted_run
 
 __all__ = ["combine_by_key", "combine_local_run", "boundary_fixup"]
 
@@ -28,14 +29,15 @@ def combine_local_run(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Combine equal *consecutive* keys of a sorted run with ``op``.
 
-    ``operator.add`` on numeric arrays uses the vectorized reduceat path;
-    any other associative callable is folded per group.
+    ``operator.add`` on numeric arrays uses the vectorized kernel
+    (:func:`repro.kernels.combine_sorted_run`); any other associative
+    callable is folded per group.
     """
     if keys.size == 0:
         return keys, values
-    starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
     if op is operator.add and np.issubdtype(np.asarray(values).dtype, np.number):
-        return keys[starts], np.add.reduceat(values, starts)
+        return combine_sorted_run(keys, values)
+    starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
     bounds = np.r_[starts, keys.size]
     out = []
     for lo, hi in zip(bounds[:-1], bounds[1:]):

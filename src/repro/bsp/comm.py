@@ -35,6 +35,21 @@ def payload_words(x: Any) -> int:
     ``None`` is free; scalars and small objects count one word.  Objects can
     override via a ``__bsp_words__()`` method.
     """
+    # Exact-type fast paths for the dominant wire shapes — ndarrays and flat
+    # tuples/lists of them (sort parcels, gathered forests).  Exact ``type``
+    # checks cannot shadow ``__bsp_words__`` overrides (builtins never define
+    # it), so these return the same counts as the general walk below.
+    tx = type(x)
+    if tx is np.ndarray:
+        return int(x.size)
+    if tx is tuple or tx is list:
+        total = 0
+        for item in x:
+            if type(item) is np.ndarray:
+                total += item.size
+            else:
+                total += payload_words(item)
+        return int(total)
     if x is None:
         return 0
     if isinstance(x, np.ndarray):

@@ -79,13 +79,10 @@ def distributed_sort(ctx, comm, keys: np.ndarray, payloads: tuple = ()):
 
     # 3. Partition the locally sorted run by splitters and exchange.
     #    Element with key k goes to the first bucket whose splitter >= k.
-    bounds = np.searchsorted(keys, splitters, side="right")
-    bounds = np.concatenate([[0], bounds, [keys.size]])
-    out_keys = [keys[bounds[i]:bounds[i + 1]] for i in range(p)]
-    out_payloads = [
-        tuple(pl[bounds[i]:bounds[i + 1]] for pl in payloads) for i in range(p)
-    ]
-    parcels = [(out_keys[i],) + out_payloads[i] for i in range(p)]
+    cuts = np.searchsorted(keys, splitters, side="right")
+    key_parts = np.split(keys, cuts)
+    payload_parts = [np.split(pl, cuts) for pl in payloads]
+    parcels = list(zip(key_parts, *payload_parts))
     received = yield from comm.alltoall(parcels)
 
     # 4. Local multiway merge (argsort of the concatenation; runs are short).

@@ -31,6 +31,7 @@ from repro.cache.traced import MemoryTracker, NullTracker
 from repro.core.sparsify import sparsify_unweighted
 from repro.graph.contract import components_from_edges
 from repro.graph.edgelist import EdgeList
+from repro.kernels import flatten_parents
 
 __all__ = [
     "connected_components",
@@ -277,11 +278,7 @@ def _traced_union_find(n, u, v, mem):
             parent[max(ra, rb)] = min(ra, rb)
             mem.touch("parent", max(ra, rb))
             mem.ops(1)
-    for x in range(n):
-        r = x
-        while parent[r] != r:
-            r = parent[r]
-        parent[x] = r
+    parent = flatten_parents(parent)
     mem.scan("parent")
     mem.ops(2 * n)
     uniq, labels = np.unique(parent, return_inverse=True)

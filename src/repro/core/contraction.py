@@ -14,6 +14,10 @@ O(m/p) volume).
 *Dense bulk edge contraction* (distributed adjacency matrix): combine the
 columns locally, transpose the distributed matrix (one alltoall), combine
 again, zero the diagonal (Lemma 4.1: O(1) supersteps, O(n^2/p) volume).
+
+The per-edge computation bottoms out in the vectorized kernels of
+:mod:`repro.kernels`; ``prefix_select(..., slow=True)`` runs the scalar
+reference loop instead (byte-identical output, used by differential tests).
 """
 
 from __future__ import annotations
@@ -21,6 +25,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bsp.combine import combine_by_key
+from repro.kernels import (
+    combine_sorted_run,
+    pack_edge_keys,
+    prefix_select_labels,
+    relabel_edge_arrays,
+    scalar_prefix_select,
+    unpack_edge_keys,
+)
 
 __all__ = [
     "prefix_select",
@@ -32,7 +44,7 @@ __all__ = [
 
 
 def prefix_select(
-    n: int, su: np.ndarray, sv: np.ndarray, t: int
+    n: int, su: np.ndarray, sv: np.ndarray, t: int, *, slow: bool = False
 ) -> tuple[np.ndarray, int]:
     """Contract the longest prefix leaving at least ``t`` components.
 
@@ -41,46 +53,15 @@ def prefix_select(
     resulting contraction; ``n_new >= t`` always, with equality whenever the
     sample suffices to reach ``t``.
 
-    Incremental union-find (path halving + union by size), stopping as soon
-    as the component count would drop below ``t``.
+    The semantics are those of an incremental union-find (path halving +
+    union by size) stopping as soon as the component count would drop below
+    ``t``; the default path computes the same result vectorized
+    (:func:`repro.kernels.prefix_select_labels`), while ``slow=True`` runs
+    the original per-edge reference loop.  Both return byte-identical labels.
     """
-    if t < 1:
-        raise ValueError(f"target component count must be >= 1, got {t}")
-    parent = np.arange(n, dtype=np.int64)
-    size = np.ones(n, dtype=np.int64)
-    count = n
-
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    for a, b in zip(su.tolist(), sv.tolist()):
-        if count <= t:
-            break
-        ra, rb = find(a), find(b)
-        if ra == rb:
-            continue
-        if size[ra] < size[rb]:
-            ra, rb = rb, ra
-        parent[rb] = ra
-        size[ra] += size[rb]
-        count -= 1
-
-    roots = np.array([find(x) for x in range(n)], dtype=np.int64)
-    uniq, labels = np.unique(roots, return_inverse=True)
-    return labels.astype(np.int64), int(uniq.size)
-
-
-def combine_sorted_run(
-    keys: np.ndarray, w: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Combine equal consecutive keys of a sorted run, summing weights."""
-    if keys.size == 0:
-        return keys, w
-    starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
-    return keys[starts], np.add.reduceat(w, starts)
+    if slow:
+        return scalar_prefix_select(n, su, sv, t)
+    return prefix_select_labels(n, su, sv, t)
 
 
 def sparse_bulk_contract(ctx, comm, u, v, w, g_map, n_new):
@@ -91,23 +72,18 @@ def sparse_bulk_contract(ctx, comm, u, v, w, g_map, n_new):
     of the contracted graph with all parallel edges combined.
     """
     # (1) Local rename + loop removal; encode endpoint pairs as one key.
-    u = g_map[u]
-    v = g_map[v]
-    keep = u != v
-    u, v, w = u[keep], v[keep], w[keep]
-    lo = np.minimum(u, v)
-    hi = np.maximum(u, v)
-    keys = lo * np.int64(n_new) + hi
-    ctx.charge_scan(keep.size, words_per_elem=3)
-    ctx.charge_random(keep.size, working_set=len(g_map))
+    m = u.size
+    u, v, w = relabel_edge_arrays(u, v, w, g_map)
+    keys = pack_edge_keys(u, v, n_new)
+    ctx.charge_scan(m, words_per_elem=3)
+    ctx.charge_random(m, working_set=len(g_map))
 
     # (2-5) Global sort + local combine + boundary fix-up: this is exactly
     # the generic combine-by-key with weight addition (§4.1 remark).
     keys, w = yield from combine_by_key(ctx, comm, keys, w)
 
-    u = keys // np.int64(n_new)
-    v = keys % np.int64(n_new)
-    return u.astype(np.int64), v.astype(np.int64), w
+    u, v = unpack_edge_keys(keys, n_new)
+    return u, v, w
 
 
 def row_block(rank: int, size: int, n: int) -> tuple[int, int]:
@@ -155,8 +131,7 @@ def dense_bulk_contract(ctx, comm, rows, n_old, g_map, n_new):
     # (3) Combine the second dimension and zero the diagonal.
     out = np.zeros((hi - lo, n_new), dtype=np.float64)
     np.add.at(out.T, g_map, transposed.T)
-    for r in range(lo, hi):
-        out[r - lo, r] = 0.0
+    out[np.arange(hi - lo), np.arange(lo, hi)] = 0.0
     ctx.charge(ops=float(hi - lo) * n_old,
                misses=ctx.cache.matrix_scan(hi - lo, n_old))
     return out

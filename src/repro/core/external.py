@@ -22,6 +22,7 @@ import numpy as np
 from repro.cache.traced import MemoryTracker, NullTracker
 from repro.graph.contract import compress_labels
 from repro.graph.io import stream_edge_chunks
+from repro.kernels import flatten_parents
 
 __all__ = ["cc_semi_external"]
 
@@ -74,11 +75,7 @@ def cc_semi_external(
             mem.touch("parent", rb)
             mem.ops(1)
     # Flatten so every vertex names its root.
-    for x in range(n):
-        r = x
-        while parent[r] != r:
-            r = parent[r]
-        parent[x] = r
+    parent = flatten_parents(parent)
     mem.scan("parent")
     mem.ops(2 * n)
     return compress_labels(parent)

@@ -53,6 +53,7 @@ from repro.core.karger_stein import (
 from repro.core.sparsify import sparsify_weighted
 from repro.core.trials import num_trials
 from repro.graph.edgelist import EdgeList
+from repro.kernels import bulk_contract_edges
 from repro.rng.sampling import CumulativeWeightSampler
 from repro.rng.streams import RngStreams
 
@@ -79,22 +80,7 @@ def _eager_target(n: int, m: int) -> int:
 
 def _relabel_combine(u, v, w, labels, n_new):
     """Relabel endpoints, drop loops, combine parallel edges (sequential)."""
-    u = labels[u]
-    v = labels[v]
-    keep = u != v
-    u, v, w = u[keep], v[keep], w[keep]
-    if u.size == 0:
-        return u, v, w
-    lo = np.minimum(u, v)
-    hi = np.maximum(u, v)
-    key = lo * np.int64(n_new) + hi
-    order = np.argsort(key, kind="stable")
-    key = key[order]
-    w = w[order]
-    starts = np.flatnonzero(np.r_[True, key[1:] != key[:-1]])
-    key = key[starts]
-    w = np.add.reduceat(w, starts) if w.size else w
-    return (key // n_new).astype(np.int64), (key % n_new).astype(np.int64), w
+    return bulk_contract_edges(u, v, w, labels, n_new)
 
 
 # ---------------------------------------------------------------------------

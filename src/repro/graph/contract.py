@@ -6,6 +6,10 @@ vectorized sequential pieces that both the BSP algorithms and the baselines
 share: relabeling endpoints under a vertex mapping, stripping loops,
 combining parallel edges, and computing the components induced by an edge
 subset (used by Prefix Selection and by the CC algorithm's root step).
+
+The per-edge work is carried by :mod:`repro.kernels`; the scalar loops that
+used to live here survive as the kernels' ``slow`` references, so
+``union_find_components(..., slow=True)`` still exercises them.
 """
 
 from __future__ import annotations
@@ -13,6 +17,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
+from repro.kernels import (
+    cc_labels,
+    cc_roots,
+    combine_packed,
+    pack_edge_keys,
+    unpack_edge_keys,
+)
 
 __all__ = [
     "relabel_edges",
@@ -45,13 +56,9 @@ def combine_parallel_edges(g: EdgeList) -> EdgeList:
     """Merge parallel edges, summing their weights (sorted-key combine)."""
     if g.m == 0:
         return g.copy()
-    key = g.u * np.int64(g.n) + g.v  # canonical form guarantees u <= v
-    order = np.argsort(key, kind="stable")
-    key_sorted = key[order]
-    starts = np.flatnonzero(np.r_[True, key_sorted[1:] != key_sorted[:-1]])
-    w = np.add.reduceat(g.w[order], starts)
-    u = g.u[order][starts]
-    v = g.v[order][starts]
+    # Canonical form guarantees u <= v, so the packed key is already canonical.
+    keys, w = combine_packed(pack_edge_keys(g.u, g.v, g.n), g.w)
+    u, v = unpack_edge_keys(keys, g.n)
     return EdgeList(g.n, u, v, w, canonical=False, validate=False)
 
 
@@ -67,34 +74,18 @@ def contract_edges(g: EdgeList, edge_index: np.ndarray) -> tuple[EdgeList, np.nd
     return combine_parallel_edges(h), labels
 
 
-def union_find_components(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
-    """Union–find over the edge set; returns a root id per vertex.
+def union_find_components(
+    n: int, u: np.ndarray, v: np.ndarray, *, slow: bool = False
+) -> np.ndarray:
+    """Connected-component root id per vertex over the edge set.
 
-    Path-halving with union by size.  Root ids are arbitrary vertex ids;
-    use :func:`compress_labels` for dense ``0..k-1`` labels.
+    The root of a component is its minimum member vertex (a deterministic
+    choice, shared by every backend); use :func:`compress_labels` for dense
+    ``0..k-1`` labels.  The default path runs the vectorized kernel
+    (:func:`repro.kernels.cc_roots`); ``slow=True`` runs the original
+    per-edge union-find loop — both return identical arrays.
     """
-    parent = np.arange(n, dtype=np.int64)
-    size = np.ones(n, dtype=np.int64)
-
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    for a, b in zip(u.tolist(), v.tolist()):
-        ra, rb = find(a), find(b)
-        if ra == rb:
-            continue
-        if size[ra] < size[rb]:
-            ra, rb = rb, ra
-        parent[rb] = ra
-        size[ra] += size[rb]
-
-    # Final full compression so every vertex points at its root.
-    for x in range(n):
-        parent[x] = find(x)
-    return parent
+    return cc_roots(n, u, v, backend="scalar" if slow else "auto")
 
 
 def compress_labels(roots: np.ndarray) -> tuple[np.ndarray, int]:
@@ -108,18 +99,7 @@ def components_from_edges(
 ) -> tuple[np.ndarray, int]:
     """Connected components of ``(range(n), edges)``: dense labels + count.
 
-    Uses scipy's compiled traversal; labels are assigned in order of first
-    appearance, so the output is deterministic.
+    Labels are assigned in order of first appearance, so the output is
+    deterministic (and identical across the kernel backends).
     """
-    u = np.asarray(u, dtype=np.int64)
-    v = np.asarray(v, dtype=np.int64)
-    if u.size == 0:
-        return np.arange(n, dtype=np.int64), n
-    from scipy.sparse import coo_matrix
-    from scipy.sparse.csgraph import connected_components as _cc
-
-    adj = coo_matrix(
-        (np.ones(u.size, dtype=np.int8), (u, v)), shape=(n, n)
-    )
-    count, labels = _cc(adj, directed=False)
-    return labels.astype(np.int64), int(count)
+    return cc_labels(n, u, v)

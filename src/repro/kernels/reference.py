@@ -1,0 +1,111 @@
+"""Scalar reference implementations of the hot-path kernels.
+
+These are the original pure-Python loops that the vectorized kernels in
+:mod:`repro.kernels.unionfind` and :mod:`repro.kernels.contract` replaced.
+They are kept (a) as the ``slow=`` escape hatch of the public entry points,
+(b) as the ground truth of the differential property tests, and (c) as the
+baseline the microbenchmarks and the perf gate measure speedups against.
+
+Do not "optimize" these: their value is being obviously correct and
+byte-for-byte equal to the pre-vectorization behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "scalar_cc_roots",
+    "scalar_prefix_select",
+    "scalar_bulk_contract",
+]
+
+
+def _find(parent: np.ndarray, x: int) -> int:
+    """Path-halving find (mutates ``parent`` along the way)."""
+    while parent[x] != x:
+        parent[x] = parent[parent[x]]
+        x = parent[x]
+    return x
+
+
+def scalar_cc_roots(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Union-find roots with the *min-wins* rule: root = min vertex of the
+    component.  Deterministic representative, so the vectorized kernel can be
+    compared for exact array equality, not just equal partitions.
+    """
+    parent = np.arange(n, dtype=np.int64)
+    for a, b in zip(u.tolist(), v.tolist()):
+        ra, rb = _find(parent, a), _find(parent, b)
+        if ra == rb:
+            continue
+        if ra > rb:
+            ra, rb = rb, ra
+        parent[rb] = ra
+    for x in range(n):
+        parent[x] = _find(parent, x)
+    return parent
+
+
+def scalar_prefix_select(
+    n: int, su: np.ndarray, sv: np.ndarray, t: int
+) -> tuple[np.ndarray, int]:
+    """The original Prefix Selection loop (union by size + path halving).
+
+    Processes the permuted sample edge by edge, stopping as soon as the
+    component count would drop below ``t``; labels are the dense renumbering
+    of the final union-find roots in sorted-root order.  The vectorized
+    kernel (:func:`repro.kernels.unionfind.prefix_select_labels`) reproduces
+    this output byte for byte, including the size-based root choice.
+    """
+    if t < 1:
+        raise ValueError(f"target component count must be >= 1, got {t}")
+    parent = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    count = n
+
+    for a, b in zip(su.tolist(), sv.tolist()):
+        if count <= t:
+            break
+        ra, rb = _find(parent, a), _find(parent, b)
+        if ra == rb:
+            continue
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        parent[rb] = ra
+        size[ra] += size[rb]
+        count -= 1
+
+    roots = np.array([_find(parent, x) for x in range(n)], dtype=np.int64)
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64), int(uniq.size)
+
+
+def scalar_bulk_contract(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, labels: np.ndarray, n_new: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pure-Python bulk edge contraction: relabel, drop loops, combine.
+
+    One dictionary pass per edge — the per-element interpreter work the
+    vectorized kernel (:func:`repro.kernels.contract.bulk_contract_edges`)
+    exists to avoid.  Output matches the vectorized kernel exactly in the
+    edge structure (distinct edges in ascending packed-key order); the
+    summed weights agree only up to float associativity, because
+    ``np.add.reduceat`` accumulates each run pairwise while this loop folds
+    strictly left to right.
+    """
+    acc: dict[int, float] = {}
+    nn = int(n_new)
+    for a, b, wt in zip(u.tolist(), v.tolist(), w.tolist()):
+        la, lb = int(labels[a]), int(labels[b])
+        if la == lb:
+            continue
+        if la > lb:
+            la, lb = lb, la
+        key = la * nn + lb
+        acc[key] = acc.get(key, 0.0) + wt
+    keys = np.fromiter(sorted(acc), dtype=np.int64, count=len(acc))
+    out_w = np.array([acc[k] for k in keys.tolist()], dtype=np.float64)
+    out_u = keys // nn if keys.size else keys
+    out_v = keys % nn if keys.size else keys
+    return out_u.astype(np.int64), out_v.astype(np.int64), out_w

@@ -1,0 +1,241 @@
+"""Vectorized connected-components / union-find kernels.
+
+Three interchangeable backends compute component structure over edge arrays:
+
+* ``"scipy"`` — compiled traversal via ``scipy.sparse.csgraph`` (fastest);
+* ``"jumping"`` — pure-numpy hooking + pointer jumping (Shiloach–Vishkin
+  style: hook the larger root onto the smaller, then jump ``parent`` to its
+  fixpoint; O(log n) vectorized rounds);
+* ``"scalar"`` — the original per-edge Python loop
+  (:func:`repro.kernels.reference.scalar_cc_roots`).
+
+All backends return *byte-identical* results: roots are always the minimum
+vertex of each component (hence dense labels are in first-appearance order,
+which is exactly what scipy's traversal produces).  The differential tests
+assert exact array equality across backends.
+
+:func:`prefix_select_labels` is the exact vectorized Prefix Selection
+(§2.4 step 2): the edges the scalar union-find would merge are precisely the
+minimum spanning forest of the sample under *arrival-index weights* (Kruskal
+with weight = position), so the compiled MSF routine finds them, and a replay
+of only those <= n-1 merges reproduces the size-based root choice — and thus
+the exact label array — of the reference loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.contract import stable_sort_with_order
+from repro.kernels.reference import _find, scalar_cc_roots, scalar_prefix_select
+
+__all__ = [
+    "cc_labels",
+    "cc_roots",
+    "earliest_forest",
+    "flatten_parents",
+    "prefix_select_labels",
+]
+
+
+def _scipy_csgraph():
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components, minimum_spanning_tree
+
+    return coo_matrix, connected_components, minimum_spanning_tree
+
+
+def _resolve_backend(backend: str) -> str:
+    if backend == "auto":
+        try:
+            _scipy_csgraph()
+        except ImportError:  # pragma: no cover - scipy is a hard dependency
+            return "jumping"
+        return "scipy"
+    if backend not in ("scipy", "jumping", "scalar"):
+        raise ValueError(f"unknown union-find backend {backend!r}")
+    return backend
+
+
+def flatten_parents(parent: np.ndarray) -> np.ndarray:
+    """Pointer-jump ``parent`` to its fixpoint: every entry names its root.
+
+    Vectorized full path compression: repeatedly ``parent <- parent[parent]``
+    (each pass at least halves every path, so O(log depth) passes).  The
+    result may alias the input when it is already flat.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    for _ in range(max(2, parent.size.bit_length() + 2)):
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            return parent
+        parent = grand
+    raise RuntimeError("parent array does not converge; cycle in forest?")
+
+
+def _cc_roots_jumping(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Hooking + pointer jumping; returns the min vertex of each component."""
+    parent = np.arange(n, dtype=np.int64)
+    if u.size == 0:
+        return parent
+    keep = u != v
+    u = u[keep]
+    v = v[keep]
+    for _ in range(max(2, 2 * n.bit_length() + 4)):
+        if u.size == 0:
+            return parent
+        pu = parent[u]
+        pv = parent[v]
+        hi = np.maximum(pu, pv)
+        lo = np.minimum(pu, pv)
+        live = hi != lo
+        if not live.any():
+            return parent
+        # Conditional hooking: every root named by an unresolved edge adopts
+        # the smallest root proposed for it...
+        np.minimum.at(parent, hi[live], lo[live])
+        # ...then full pointer jumping makes all trees stars again.
+        parent = flatten_parents(parent)
+        alive = parent[u] != parent[v]
+        u = u[alive]
+        v = v[alive]
+    raise RuntimeError("hooking/pointer-jumping did not converge; kernel bug")
+
+
+def cc_roots(
+    n: int, u: np.ndarray, v: np.ndarray, backend: str = "auto"
+) -> np.ndarray:
+    """Root (= minimum member vertex) of every vertex's component.
+
+    Self-loops are ignored.  All backends agree exactly; see module docs.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    backend = _resolve_backend(backend)
+    if backend == "scalar":
+        return scalar_cc_roots(n, u, v)
+    if backend == "jumping" or u.size == 0:
+        return _cc_roots_jumping(n, u, v)
+    labels, _k = _cc_labels_scipy(n, u, v)
+    # scipy labels are in first-appearance order, so the first vertex holding
+    # a label is the component minimum: map labels back to those vertices.
+    _uniq, first = np.unique(labels, return_index=True)
+    return first[labels].astype(np.int64)
+
+
+def _cc_labels_scipy(n: int, u: np.ndarray, v: np.ndarray):
+    coo_matrix, connected_components, _mst = _scipy_csgraph()
+    adj = coo_matrix((np.ones(u.size, dtype=np.int8), (u, v)), shape=(n, n))
+    count, labels = connected_components(adj, directed=False)
+    return labels.astype(np.int64), int(count)
+
+
+def cc_labels(
+    n: int, u: np.ndarray, v: np.ndarray, backend: str = "auto"
+) -> tuple[np.ndarray, int]:
+    """Dense component labels ``0..k-1`` (first-appearance order) + count."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.size == 0:
+        return np.arange(n, dtype=np.int64), n
+    backend = _resolve_backend(backend)
+    if backend == "scipy":
+        return _cc_labels_scipy(n, u, v)
+    roots = cc_roots(n, u, v, backend=backend)
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64), int(uniq.size)
+
+
+def earliest_forest(
+    n: int, u: np.ndarray, v: np.ndarray, backend: str = "auto"
+) -> tuple[np.ndarray, np.ndarray]:
+    """The arrival-order spanning forest of the edge stream ``(u, v)``.
+
+    Returns exactly the edges (original orientation, ascending position) that
+    a union-find processing the stream front to back would merge on — the
+    minimum spanning forest under weight = arrival index, computed by the
+    compiled MSF routine instead of a per-edge Python loop.  Self-loops and
+    repeated parallel edges never merge and are dropped.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    backend = _resolve_backend(backend)
+    if backend in ("scalar", "jumping") or u.size == 0:
+        return _earliest_forest_scalar(n, u, v)
+    keep = u != v
+    idx = np.flatnonzero(keep)
+    if idx.size == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z
+    lo = np.minimum(u[keep], v[keep])
+    hi = np.maximum(u[keep], v[keep])
+    # Only a pair's first arrival can merge: dedupe to the earliest position
+    # of every unordered endpoint pair (stable sort keeps ascending index).
+    key = lo * np.int64(n) + hi
+    ks, order = stable_sort_with_order(key)
+    starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
+    sel = order[starts]
+    coo_matrix, _cc, minimum_spanning_tree = _scipy_csgraph()
+    g = coo_matrix(
+        ((idx[sel] + 1).astype(np.float64), (lo[sel], hi[sel])), shape=(n, n)
+    )
+    tree = minimum_spanning_tree(g.tocsr()).tocoo()
+    merge_at = np.sort(tree.data.astype(np.int64) - 1)
+    return u[merge_at], v[merge_at]
+
+
+def _earliest_forest_scalar(n, u, v):
+    parent = np.arange(n, dtype=np.int64)
+    fu, fv = [], []
+    for a, b in zip(u.tolist(), v.tolist()):
+        ra, rb = _find(parent, a), _find(parent, b)
+        if ra == rb:
+            continue
+        parent[max(ra, rb)] = min(ra, rb)
+        fu.append(a)
+        fv.append(b)
+    return np.array(fu, dtype=np.int64), np.array(fv, dtype=np.int64)
+
+
+def prefix_select_labels(
+    n: int, su: np.ndarray, sv: np.ndarray, t: int, backend: str = "auto"
+) -> tuple[np.ndarray, int]:
+    """Exact vectorized Prefix Selection: contract the longest prefix of the
+    permuted sample ``(su, sv)`` leaving at least ``t`` components.
+
+    Byte-identical to :func:`repro.kernels.reference.scalar_prefix_select`:
+    the merge sequence is recovered vectorized (earliest-arrival forest), and
+    only those ``<= min(n - t, n - 1)`` merges are replayed with the
+    reference's union-by-size rule so the root *identities* — which order the
+    dense labels through ``np.unique`` — come out the same.
+    """
+    if t < 1:
+        raise ValueError(f"target component count must be >= 1, got {t}")
+    su = np.asarray(su, dtype=np.int64)
+    sv = np.asarray(sv, dtype=np.int64)
+    if _resolve_backend(backend) == "scalar":
+        return scalar_prefix_select(n, su, sv, t)
+    budget = n - t
+    parent = np.arange(n, dtype=np.int64)
+    if budget > 0 and su.size:
+        fu, fv = earliest_forest(n, su, sv, backend=backend)
+        take = min(budget, fu.size)
+        # Replay on plain Python lists: the loop runs only over the <= n-1
+        # forest merges (never the full sample), and list indexing avoids
+        # the per-access overhead of numpy scalar indexing.
+        par = list(range(n))
+        size = [1] * n
+        for a, b in zip(fu[:take].tolist(), fv[:take].tolist()):
+            while par[a] != a:
+                par[a] = par[par[a]]
+                a = par[a]
+            while par[b] != b:
+                par[b] = par[par[b]]
+                b = par[b]
+            if size[a] < size[b]:
+                a, b = b, a
+            par[b] = a
+            size[a] += size[b]
+        parent = flatten_parents(np.array(par, dtype=np.int64))
+    uniq, labels = np.unique(parent, return_inverse=True)
+    return labels.astype(np.int64), int(uniq.size)

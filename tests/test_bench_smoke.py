@@ -1,0 +1,44 @@
+"""Smoke tests for the kernel microbenchmarks and the perf gate.
+
+The tier-1 run only executes the tiny-scale smoke (the benchmarks carry
+their own correctness asserts, so this catches interface drift cheaply);
+the full-scale speedup assertions are ``perf``-marked and excluded by
+default — run them with ``pytest -m perf tests/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_kernels import BENCHES, run_benchmarks
+
+
+def test_bench_kernels_smoke_tiny_scale():
+    results = run_benchmarks(scale=0.01, seed=1)
+    assert set(results) == set(BENCHES)
+    for name, r in results.items():
+        assert r["fast_s"] > 0 and r["slow_s"] > 0, name
+        assert np.isfinite(r["speedup"]), name
+
+
+def test_bench_kernels_single_selection():
+    results = run_benchmarks(scale=0.01, seed=2, names={"contract"})
+    assert set(results) == {"contract"}
+
+
+def test_perf_gate_importable():
+    from benchmarks import perf_gate
+
+    assert perf_gate.BASELINE_PATH.name == "perf_baseline.json"
+    assert perf_gate.SPEEDUP_FLOORS["contract"] == 10.0
+
+
+@pytest.mark.perf
+def test_contract_speedup_meets_floor_full_scale():
+    """Acceptance bar: >= 10x over the scalar reference on contraction of a
+    10^5-edge random multigraph (scale=1.0 defaults)."""
+    results = run_benchmarks(scale=1.0, seed=0, names={"contract"})
+    r = results["contract"]
+    assert r["m"] >= 100_000
+    assert r["speedup"] >= 10.0, r
