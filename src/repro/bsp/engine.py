@@ -16,6 +16,7 @@ randomness flows from one root seed through per-rank Philox streams.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable
 
@@ -151,7 +152,20 @@ class Engine:
         args: Iterable[Any] = (),
         kwargs: dict | None = None,
     ) -> RunResult:
-        """Execute ``program(ctx, *args, **kwargs)`` on ``p`` processors."""
+        """Execute ``program(ctx, *args, **kwargs)`` on ``p`` processors.
+
+        ``p`` must be an integer >= 1 (``p = 1`` is a valid degenerate BSP
+        machine: every collective is a self-communication).  Anything else
+        — zero, negative, or a non-integral value — raises ``TypeError``
+        or ``ValueError`` before any program code runs; all execution
+        backends share this contract.
+        """
+        try:
+            p = operator.index(p)
+        except TypeError:
+            raise TypeError(
+                f"p must be an integer, got {type(p).__name__} ({p!r})"
+            ) from None
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
         kwargs = kwargs or {}
@@ -423,7 +437,12 @@ def run_spmd(
     cache: CacheParams | None = None,
     machine: MachineModel | None = None,
 ) -> RunResult:
-    """One-shot convenience wrapper: build an :class:`Engine` and run."""
+    """One-shot convenience wrapper: build an :class:`Engine` and run.
+
+    Shares :meth:`Engine.run`'s processor-count contract: ``p`` must be an
+    integer >= 1, enforced with ``TypeError``/``ValueError`` before any
+    program code runs.
+    """
     return Engine(cache=cache, machine=machine).run(
         program, p, seed=seed, args=args, kwargs=kwargs
     )

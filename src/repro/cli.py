@@ -5,14 +5,21 @@ The published artifact ships three executables — ``parallel_cc``,
 edge-list file and print a profiling CSV line per execution (Listing 1 of
 the artifact appendix: input, seed, vertex/edge counts, execution and MPI
 time, parallelism, algorithm tag, and the result).  This module mirrors
-them as subcommands on the simulated machine, plus a ``generate``
-subcommand standing in for the artifact's input generators.
+them as subcommands, plus a ``generate`` subcommand standing in for the
+artifact's input generators.
+
+``--backend`` selects the runtime: ``sim`` (default) executes on the
+single-process BSP simulator with the analytic time model; ``mp`` executes
+on ``--procs`` real OS processes over shared memory and reports measured
+wall-clock times.  The algorithmic result and counters are identical
+either way for a fixed seed.
 
 Usage::
 
     python -m repro.cli generate --family er --n 1000 --degree 8 \
         --seed 1 --out g.txt
     python -m repro.cli parallel_cc g.txt --procs 8 --seed 1
+    python -m repro.cli parallel_cc g.txt --procs 4 --backend mp
     python -m repro.cli approx_cut g.txt --procs 8 --seed 1
     python -m repro.cli square_root g.txt --procs 8 --seed 1 --trial-scale 0.1
 """
@@ -33,7 +40,9 @@ from repro.graph import (
 )
 from repro.rng import philox_stream
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
+
+_BACKENDS = ("sim", "mp")
 
 
 def _profile_line(path, seed, p, g, time, tag, result) -> str:
@@ -49,7 +58,8 @@ def _profile_line(path, seed, p, g, time, tag, result) -> str:
 
 def _cmd_parallel_cc(args) -> int:
     g = read_edgelist(args.input)
-    res = connected_components(g, p=args.procs, seed=args.seed)
+    res = connected_components(g, p=args.procs, seed=args.seed,
+                               backend=args.backend)
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "cc", res.n_components))
     return 0
@@ -58,7 +68,8 @@ def _cmd_parallel_cc(args) -> int:
 def _cmd_approx_cut(args) -> int:
     g = read_edgelist(args.input)
     res = approx_minimum_cut(
-        g, p=args.procs, seed=args.seed, pipelined=args.pipelined
+        g, p=args.procs, seed=args.seed, pipelined=args.pipelined,
+        backend=args.backend,
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "approx_cut", f"{res.estimate:g}"))
@@ -70,7 +81,7 @@ def _cmd_square_root(args) -> int:
     res = minimum_cut(
         g, p=args.procs, seed=args.seed,
         success_prob=args.success_prob, trial_scale=args.trial_scale,
-        trials=args.trials,
+        trials=args.trials, backend=args.backend,
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "square_root", f"{res.value:g}"))
@@ -109,8 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     def common(sp):
         sp.add_argument("input", help="edge-list file (artifact format)")
         sp.add_argument("--procs", "-p", type=int, default=4,
-                        help="virtual processors (default 4)")
+                        help="processors (default 4)")
         sp.add_argument("--seed", type=int, default=0, help="root PRNG seed")
+        sp.add_argument("--backend", choices=_BACKENDS, default="sim",
+                        help="execution runtime: BSP simulator (sim, "
+                             "default) or real OS processes (mp)")
 
     sp = sub.add_parser("parallel_cc", help="connected components (§3.2)")
     common(sp)
@@ -145,9 +159,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Reject out-of-domain numeric options with a usage error (exit 2),
+    before any input is read or any process is spawned."""
+    procs = getattr(args, "procs", None)
+    if procs is not None and procs < 1:
+        parser.error(f"--procs must be >= 1, got {procs}")
+    trial_scale = getattr(args, "trial_scale", None)
+    if trial_scale is not None and not trial_scale > 0:
+        parser.error(f"--trial-scale must be > 0, got {trial_scale}")
+    success_prob = getattr(args, "success_prob", None)
+    if success_prob is not None and not 0 < success_prob < 1:
+        parser.error(f"--success-prob must be in (0, 1), got {success_prob}")
+    trials = getattr(args, "trials", None)
+    if trials is not None and trials < 1:
+        parser.error(f"--trials must be >= 1, got {trials}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
     return args.func(args)
 
 

@@ -32,6 +32,7 @@ from repro.bsp.engine import Engine
 from repro.bsp.machine import TimeEstimate
 from repro.core.components import cc_kernel
 from repro.graph.edgelist import EdgeList
+from repro.runtime.base import Backend, resolve_backend
 
 __all__ = ["approx_minimum_cut", "appmc_program", "ApproxMinCutResult"]
 
@@ -216,17 +217,20 @@ def approx_minimum_cut(
     eps: float = 0.25,
     delta: float = 0.5,
     engine: Engine | None = None,
+    backend: str | Backend | None = None,
 ) -> ApproxMinCutResult:
     """O(log n)-approximate global minimum cut on ``p`` virtual processors.
 
     Returns the ``2^j`` estimate plus a witness cut (the smallest component
     of the first disconnected trial) and its exact value on ``g``.
+    ``backend`` selects the runtime (``"sim"``/``"mp"``/instance); results
+    are backend-independent for a fixed ``seed``.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
-    engine = engine or Engine()
+    runtime = resolve_backend(backend, engine=engine)
     slices = g.slices(p)
-    result = engine.run(
+    result = runtime.run(
         appmc_program, p, seed=seed,
         args=(slices, g.n),
         kwargs={

@@ -32,6 +32,7 @@ from repro.core.sparsify import sparsify_unweighted
 from repro.graph.contract import components_from_edges
 from repro.graph.edgelist import EdgeList
 from repro.kernels import flatten_parents
+from repro.runtime.base import Backend, resolve_backend
 
 __all__ = [
     "connected_components",
@@ -232,6 +233,7 @@ def connected_components(
     delta: float = 0.5,
     hybrid: bool = False,
     engine: Engine | None = None,
+    backend: str | Backend | None = None,
 ) -> CCResult:
     """Find the connected components of ``g`` on ``p`` virtual processors.
 
@@ -240,11 +242,17 @@ def connected_components(
     sampler.  ``hybrid=True`` uses sparsification as a preconditioner for
     the parallel hooking algorithm instead of iterating to convergence
     (the §3.2 remark).  Deterministic given ``seed``.
+
+    ``backend`` selects the runtime: ``"sim"`` (default, the BSP
+    simulator on ``p`` virtual processors), ``"mp"`` (``p`` real OS
+    processes), or a ready :class:`~repro.runtime.base.Backend`.
+    Algorithmic results are backend-independent; only ``time`` differs
+    (analytic vs measured).
     """
-    engine = engine or Engine()
+    runtime = resolve_backend(backend, engine=engine)
     slices = g.slices(p)
     program = cc_hybrid_program if hybrid else cc_program
-    result = engine.run(
+    result = runtime.run(
         program, p, seed=seed,
         args=(slices, g.n), kwargs={"eps": eps, "delta": delta},
     )

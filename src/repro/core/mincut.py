@@ -55,6 +55,7 @@ from repro.core.trials import num_trials
 from repro.graph.edgelist import EdgeList
 from repro.kernels import bulk_contract_edges
 from repro.rng.sampling import CumulativeWeightSampler
+from repro.runtime.base import Backend, resolve_backend
 from repro.rng.streams import RngStreams
 
 __all__ = [
@@ -535,6 +536,7 @@ def minimum_cut(
     trial_scale: float = 1.0,
     preprocess: bool = False,
     engine: Engine | None = None,
+    backend: str | Backend | None = None,
 ) -> MinCutResult:
     """Exact (w.p. >= ``success_prob``) global minimum cut of ``g``.
 
@@ -543,11 +545,12 @@ def minimum_cut(
     runs.  ``preprocess`` applies the §2.3 heavy-edge contraction first
     (exactness-preserving; shrinks graphs with a wide weight spread).
     Deterministic given ``seed`` (and, for ``p <= trials``, independent of
-    ``p``).
+    ``p``).  ``backend`` selects the runtime (``"sim"``/``"mp"``/
+    instance); results are backend-independent for a fixed ``seed``.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
-    engine = engine or Engine()
+    runtime = resolve_backend(backend, engine=engine)
     lift = None
     if preprocess:
         from repro.core.preprocess import contract_heavy_edges
@@ -561,7 +564,7 @@ def minimum_cut(
         trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
                             scale=trial_scale)
     slices = g.slices(p)
-    result = engine.run(
+    result = runtime.run(
         mincut_program, p, seed=seed,
         args=(slices, g.n, trials, seed),
     )
@@ -594,21 +597,23 @@ def minimum_cuts(
     trials: int | None = None,
     trial_scale: float = 1.0,
     engine: Engine | None = None,
+    backend: str | Backend | None = None,
 ) -> MinCutsResult:
     """All global minimum cuts of ``g`` (w.h.p. given enough trials).
 
     Lemma 4.3: the §4 trial budget preserves and finds *every* minimum cut
     with high probability; this driver collects the distinct witnesses
     discovered across trials (a side and its complement count once).
+    ``backend`` selects the runtime, as in :func:`minimum_cut`.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
-    engine = engine or Engine()
+    runtime = resolve_backend(backend, engine=engine)
     if trials is None:
         trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
                             scale=trial_scale)
     slices = g.slices(p)
-    result = engine.run(
+    result = runtime.run(
         mincut_program, p, seed=seed,
         args=(slices, g.n, trials, seed),
         kwargs={"collect_all": True},

@@ -26,6 +26,7 @@ costs O(1) per edge.
 from __future__ import annotations
 
 import math
+import operator
 
 import numpy as np
 
@@ -103,7 +104,8 @@ def sparsify_unweighted(ctx, comm, u, v, s, *, n, delta=0.5, root=0):
     if not 0 < delta < 1:
         raise ValueError(f"delta must be in (0, 1), got {delta}")
     m_local = int(u.size)
-    m_total = yield from comm.allreduce(m_local, op=lambda a, b: a + b)
+    # operator.add (not a lambda): reduce ops must pickle for the mp backend.
+    m_total = yield from comm.allreduce(m_local, op=operator.add)
 
     if m_total == 0:
         part = (u[:0], v[:0])

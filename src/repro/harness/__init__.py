@@ -7,7 +7,7 @@ metric is the maximum over participating processors (which is what the BSP
 counters already report).
 """
 
-from repro.harness.experiment import measure, median_ci, Datapoint
+from repro.harness.experiment import measure, median_ci, Datapoint, run_algorithm
 from repro.harness.report import Series, format_table, write_experiment_record
 from repro.harness.asciiplot import ascii_chart
 
@@ -15,6 +15,7 @@ __all__ = [
     "measure",
     "median_ci",
     "Datapoint",
+    "run_algorithm",
     "Series",
     "format_table",
     "write_experiment_record",

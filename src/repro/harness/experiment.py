@@ -6,6 +6,11 @@ PRNG seed per execution.  :func:`measure` reproduces this: it calls a
 metric function with consecutive derived seeds, reports the median, and
 keeps adding repetitions (up to a cap) until the order-statistic CI of the
 median meets the tolerance.
+
+:func:`run_algorithm` is the backend-aware dispatcher the experiment
+scripts and the backend benchmark share: one ``(algorithm, graph, p,
+seed, backend)`` tuple in, the algorithm's result object out — under the
+simulator or on real processes.
 """
 
 from __future__ import annotations
@@ -16,7 +21,41 @@ from typing import Callable
 import numpy as np
 from scipy.stats import binom
 
-__all__ = ["median_ci", "measure", "Datapoint"]
+__all__ = ["median_ci", "measure", "Datapoint", "run_algorithm"]
+
+
+def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
+                  backend=None, **kwargs):
+    """Run one of the artifact algorithms on a chosen execution backend.
+
+    ``algorithm`` is an artifact executable tag: ``"parallel_cc"``,
+    ``"approx_cut"`` or ``"square_root"``.  ``backend`` is ``"sim"``
+    (default), ``"mp"``, or a :class:`~repro.runtime.base.Backend`
+    instance; extra ``kwargs`` flow to the algorithm's entry point.
+    Returns the entry point's result object (``CCResult`` /
+    ``ApproxMinCutResult`` / ``MinCutResult``), whose ``time`` is analytic
+    under ``sim`` and measured wall-clock under ``mp``.
+    """
+    # Imported here: repro.core pulls in scipy-heavy modules at load time.
+    from repro.core import (
+        approx_minimum_cut,
+        connected_components,
+        minimum_cut,
+    )
+
+    dispatch = {
+        "parallel_cc": connected_components,
+        "approx_cut": approx_minimum_cut,
+        "square_root": minimum_cut,
+    }
+    try:
+        fn = dispatch[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(dispatch)}"
+        ) from None
+    return fn(g, p=p, seed=seed, backend=backend, **kwargs)
 
 def median_ci(values: list[float], confidence: float = 0.95) -> tuple[float, float]:
     """Nonparametric CI for the median from order statistics.

@@ -1,0 +1,53 @@
+"""Execution backends: one SPMD program surface, multiple runtimes.
+
+The algorithms in :mod:`repro.core` are SPMD generator programs written
+against the :class:`~repro.bsp.comm.Communicator` collectives.  This
+package decides *where* such a program runs:
+
+* :class:`SimBackend` — the deterministic single-process BSP simulator
+  (:mod:`repro.bsp.engine`), with analytic cost counters and the §5.3
+  machine-model time estimate.  The correctness and cost oracle.
+* :class:`MpBackend` — real OS processes (``multiprocessing``,
+  spawn-safe) communicating through a shared-memory transport, with
+  *measured* wall-clock application/MPI time and bit-identical results
+  and counters for a fixed seed.
+
+:func:`resolve_backend` maps a spec (``"sim"``/``"mp"``/instance/None) to
+a backend; :mod:`repro.runtime.differential` holds the backends to each
+other.
+"""
+
+from repro.runtime.base import Backend, available_backends, resolve_backend
+from repro.runtime.errors import (
+    WorkerCrashError,
+    WorkerFailure,
+    WorkerProgramError,
+    WorkerTimeoutError,
+)
+from repro.runtime.mp import MpBackend, default_start_method
+from repro.runtime.sim import SimBackend
+from repro.runtime.differential import (
+    ALGORITHMS,
+    BackendParityError,
+    ParityReport,
+    assert_backend_parity,
+    compare_backends,
+)
+
+__all__ = [
+    "Backend",
+    "SimBackend",
+    "MpBackend",
+    "resolve_backend",
+    "available_backends",
+    "default_start_method",
+    "WorkerFailure",
+    "WorkerCrashError",
+    "WorkerProgramError",
+    "WorkerTimeoutError",
+    "ALGORITHMS",
+    "BackendParityError",
+    "ParityReport",
+    "compare_backends",
+    "assert_backend_parity",
+]

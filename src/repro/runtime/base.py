@@ -1,0 +1,93 @@
+"""The execution-backend protocol shared by the simulator and real runtimes.
+
+A :class:`Backend` executes an **unmodified SPMD generator program** — the
+same ``program(ctx, *args, **kwargs)`` generators the BSP simulator runs —
+and returns the engine's :class:`~repro.bsp.engine.RunResult` shape:
+per-rank return values, an aggregated :class:`~repro.bsp.counters.CountersReport`,
+and a :class:`~repro.bsp.machine.TimeEstimate` (analytic for the simulator,
+measured wall-clock for real runtimes).
+
+Entry points accept a backend *spec*: an existing :class:`Backend`
+instance, a registered name (``"sim"``, ``"mp"``), or ``None`` for the
+default simulator.  :func:`resolve_backend` performs that resolution and
+keeps the legacy ``engine=`` escape hatch working.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Generator, Iterable
+
+from repro.bsp.engine import Engine, RunResult
+
+__all__ = ["Backend", "resolve_backend", "available_backends"]
+
+
+class Backend(ABC):
+    """An executor for SPMD generator programs."""
+
+    #: Registry name (``"sim"``, ``"mp"``); set by subclasses.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        program: Callable[..., Generator],
+        p: int,
+        *,
+        seed: int = 0,
+        args: Iterable[Any] = (),
+        kwargs: dict | None = None,
+    ) -> RunResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on ``p`` processors.
+
+        Must be deterministic given ``seed``: for a fixed root seed every
+        backend returns byte-identical per-rank values and counters (the
+        simulator is the correctness/cost oracle for real runtimes).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def available_backends() -> dict[str, type]:
+    """Name -> class map of the registered backends."""
+    from repro.runtime.mp import MpBackend
+    from repro.runtime.sim import SimBackend
+
+    return {SimBackend.name: SimBackend, MpBackend.name: MpBackend}
+
+
+def resolve_backend(
+    backend: "str | Backend | None" = None,
+    *,
+    engine: Engine | None = None,
+) -> Backend:
+    """Resolve a backend spec (name, instance or ``None``) to an instance.
+
+    ``engine`` is the legacy simulator escape hatch used throughout the
+    benchmarks (traced engines, custom cache geometry); it is only
+    meaningful for the simulator, so combining it with any non-sim spec is
+    an error rather than a silent ignore.
+    """
+    from repro.runtime.sim import SimBackend
+
+    if isinstance(backend, Backend):
+        if engine is not None:
+            raise ValueError(
+                "pass either backend= or engine=, not both "
+                "(engine= configures the simulator only)"
+            )
+        return backend
+    if backend is None or backend == "sim":
+        return SimBackend(engine=engine)
+    if engine is not None:
+        raise ValueError(
+            f"engine= applies to the sim backend only, not {backend!r}"
+        )
+    registry = available_backends()
+    if isinstance(backend, str) and backend in registry:
+        return registry[backend]()
+    raise ValueError(
+        f"unknown backend {backend!r}; available: {sorted(registry)}"
+    )

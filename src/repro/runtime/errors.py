@@ -1,0 +1,67 @@
+"""Typed failures of the multiprocess execution backend.
+
+Every error a real run can hit — a worker segfaulting, a program raising
+on one rank, a rank hanging past the inactivity timeout — surfaces as a
+:class:`WorkerFailure` (a ``RuntimeError``) carrying the failing rank(s),
+never as a hang: the coordinator bounds every wait and tears the worker
+pool down before re-raising.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "WorkerFailure",
+    "WorkerCrashError",
+    "WorkerProgramError",
+    "WorkerTimeoutError",
+]
+
+
+class WorkerFailure(RuntimeError):
+    """Base class for multiprocess-backend failures."""
+
+
+class WorkerCrashError(WorkerFailure):
+    """A worker process died without reporting a Python exception.
+
+    Typically an abrupt exit (``os._exit``, OOM kill, segfault).  Carries
+    the global rank and the process exit code.
+    """
+
+    def __init__(self, rank: int, exitcode: int | None):
+        self.rank = rank
+        self.exitcode = exitcode
+        super().__init__(
+            f"worker rank {rank} died unexpectedly (exit code {exitcode})"
+        )
+
+
+class WorkerProgramError(WorkerFailure):
+    """The SPMD program raised on one rank; carries the remote traceback."""
+
+    def __init__(self, rank: int, exc_type: str, remote_traceback: str):
+        self.rank = rank
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"worker rank {rank} raised {exc_type}\n"
+            f"--- remote traceback ---\n{remote_traceback}"
+        )
+
+
+class WorkerTimeoutError(WorkerFailure):
+    """No worker made progress within the configured inactivity timeout.
+
+    ``missing`` lists the global ranks the coordinator was still waiting
+    on (alive but silent — hung, deadlocked outside a collective, or
+    legitimately slower than the timeout allows).
+    """
+
+    def __init__(self, timeout_s: float, missing: list[int]):
+        self.timeout_s = timeout_s
+        self.missing = list(missing)
+        super().__init__(
+            f"no worker activity for {timeout_s:g}s; still waiting on "
+            f"rank(s) {self.missing} (raise MpBackend(timeout=...) if the "
+            "computation is legitimately slow)"
+        )

@@ -1,0 +1,375 @@
+"""Real shared-memory multiprocess backend for SPMD programs.
+
+Architecture
+------------
+``MpBackend.run`` starts ``p`` OS worker processes (``multiprocessing``,
+spawn-safe; fork by default where available because it is much faster).
+Each worker executes the unmodified generator program locally
+(:mod:`repro.runtime.worker`) and brokers every collective through the
+coordinator — this parent process — over a per-rank pipe, with bulk numpy
+payloads travelling through POSIX shared memory
+(:mod:`repro.runtime.transport`).
+
+The coordinator mirrors the simulator's scheduling semantics exactly: a
+collective executes once every member of its group has posted a matching
+request, requests are validated the same way (kind and root agreement,
+deadlock on terminated members), and the collective itself is computed by
+the *same* ``Engine._exec_*`` handlers the simulator uses — value
+semantics, sub-communicator construction in ``split``, and analytic
+communication charges are shared code, which is what makes the two
+backends byte-identical in results *and* counters for a fixed seed.
+
+Fault handling: a worker that raises surfaces as
+:class:`~repro.runtime.errors.WorkerProgramError` with the remote
+traceback; one that dies abruptly as :class:`WorkerCrashError` (process
+sentinels are part of the coordinator's wait set, so death is noticed
+immediately); total silence beyond the configurable inactivity timeout as
+:class:`WorkerTimeoutError`.  The worker pool is always torn down before
+re-raising — a failed run never hangs and never leaks processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import operator as _operator
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Generator, Iterable
+
+from repro.bsp.comm import CollectiveOp
+from repro.bsp.counters import CountersReport, ProcCounters
+from repro.bsp.engine import Engine, RunResult
+from repro.bsp.errors import CollectiveMismatchError, DeadlockError
+from repro.bsp.machine import TimeEstimate
+from repro.cache.model import CacheParams
+from repro.runtime.base import Backend
+from repro.runtime.errors import (
+    WorkerCrashError,
+    WorkerProgramError,
+    WorkerTimeoutError,
+)
+from repro.runtime.transport import (
+    DEFAULT_SHM_THRESHOLD,
+    collect_shm_names,
+    decode_payload,
+    encode_payload,
+    unlink_segments,
+)
+from repro.runtime.worker import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_OP,
+    REPLY_RESULT,
+    WorkerSpec,
+    worker_main,
+)
+
+__all__ = ["MpBackend", "default_start_method"]
+
+#: Default inactivity timeout (seconds): generous enough for real
+#: benchmark-scale local compute phases, finite so nothing ever hangs.
+DEFAULT_TIMEOUT_S = 300.0
+
+
+def default_start_method() -> str:
+    """Preferred ``multiprocessing`` start method on this platform.
+
+    ``fork`` (where available) avoids re-importing the scientific stack in
+    every worker; everything is nevertheless spawn-safe and ``spawn`` can
+    be forced via ``MpBackend(start_method="spawn")``.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _Pool:
+    """The worker processes plus the coordinator-side bookkeeping."""
+
+    def __init__(self, ctx, p: int, spec_for: Callable[[int], WorkerSpec]):
+        self.conns = []
+        self.procs = []
+        for rank in range(p):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_conn, spec_for(rank)),
+                daemon=True,
+                name=f"repro-mp-{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+        self.conn_rank = {id(c): r for r, c in enumerate(self.conns)}
+        self.sentinel_rank = {pr.sentinel: r for r, pr in enumerate(self.procs)}
+
+    def shutdown(self) -> None:
+        """Terminate everything and reclaim stray shared-memory segments."""
+        for conn in self.conns:
+            try:
+                while conn.poll():
+                    msg = conn.recv()
+                    if msg and msg[0] == MSG_OP:
+                        # Decode = attach + copy + unlink: reclaims segments.
+                        decode_payload(msg[2].payload)
+                    elif msg and msg[0] == MSG_DONE:
+                        decode_payload(msg[2])
+            except (EOFError, OSError):
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - terminate() sufficed so far
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in self.conns:
+            conn.close()
+
+
+class MpBackend(Backend):
+    """Execute SPMD programs on real OS processes with measured timing.
+
+    Parameters
+    ----------
+    cache:
+        Cache geometry for the analytic counter charges (shared with the
+        workers so counters match the simulator's bit-for-bit).
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"``; default per platform.
+    timeout:
+        Inactivity timeout in seconds (no message from any worker) before
+        the run is aborted with :class:`WorkerTimeoutError`.  ``None``
+        disables the bound (not recommended).
+    shm_threshold:
+        Minimum payload-array size in bytes for the shared-memory path.
+    """
+
+    name = "mp"
+
+    def __init__(
+        self,
+        *,
+        cache: CacheParams | None = None,
+        start_method: str | None = None,
+        timeout: float | None = DEFAULT_TIMEOUT_S,
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+    ):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+        self.cache = cache or CacheParams()
+        self.start_method = start_method or default_start_method()
+        if self.start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {self.start_method!r} unavailable on this "
+                f"platform; have {multiprocessing.get_all_start_methods()}"
+            )
+        self.timeout = timeout
+        self.shm_threshold = int(shm_threshold)
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[..., Generator],
+        p: int,
+        *,
+        seed: int = 0,
+        args: Iterable[Any] = (),
+        kwargs: dict | None = None,
+    ) -> RunResult:
+        """Run ``program`` on ``p`` worker processes; measured time split."""
+        try:
+            p = _operator.index(p)
+        except TypeError:
+            raise TypeError(
+                f"p must be an integer processor count, got {type(p).__name__}"
+            ) from None
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+
+        engine = Engine(cache=self.cache)  # shared collective semantics
+        world = engine._new_group(tuple(range(p)))
+        ctx = multiprocessing.get_context(self.start_method)
+        args = tuple(args)
+        kwargs = dict(kwargs or {})
+
+        def spec_for(rank: int) -> WorkerSpec:
+            return WorkerSpec(
+                rank=rank, p=p, world_gid=world.gid, seed=seed,
+                cache=self.cache, program=program, args=args, kwargs=kwargs,
+                shm_threshold=self.shm_threshold,
+            )
+
+        pool = _Pool(ctx, p, spec_for)
+        try:
+            return self._coordinate(engine, pool, p)
+        finally:
+            pool.shutdown()
+
+    # -- coordinator ---------------------------------------------------------
+
+    @staticmethod
+    def _crash(pool: _Pool, rank: int) -> WorkerCrashError:
+        """Build the crash error, reaping the child first: its sentinel can
+        fire a moment before the process is waitable, leaving ``exitcode``
+        None until a join."""
+        proc = pool.procs[rank]
+        proc.join(timeout=5.0)
+        return WorkerCrashError(rank, proc.exitcode)
+
+    def _coordinate(self, engine: Engine, pool: _Pool, p: int) -> RunResult:
+        pending: dict[int, tuple[CollectiveOp, float]] = {}
+        finished: set[int] = set()
+        values: list[Any] = [None] * p
+        counters: list[ProcCounters | None] = [None] * p
+        app_s = [0.0] * p
+        mpi_s = [0.0] * p
+        # Reply segments not yet confirmed consumed (rank's next message
+        # confirms); unlinked on teardown if the worker never got there.
+        reply_refs: dict[int, list[str]] = {r: [] for r in range(p)}
+
+        def handle(msg) -> None:
+            tag, rank = msg[0], msg[1]
+            reply_refs[rank].clear()  # previous reply was consumed
+            if tag == MSG_OP:
+                _, _, op, since_sync = msg
+                op = CollectiveOp(
+                    group=op.group, kind=op.kind, sender=op.sender,
+                    local_rank=op.local_rank,
+                    payload=decode_payload(op.payload),
+                    root=op.root, op=op.op,
+                )
+                pending[rank] = (op, float(since_sync))
+            elif tag == MSG_DONE:
+                _, _, value, procs_counters, app, mpi = msg
+                values[rank] = decode_payload(value)
+                counters[rank] = procs_counters
+                app_s[rank] = app
+                mpi_s[rank] = mpi
+                finished.add(rank)
+            elif tag == MSG_ERROR:
+                _, _, exc_type, tb = msg
+                raise WorkerProgramError(rank, exc_type, tb)
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown worker message tag {tag!r}")
+
+        def execute_ready() -> None:
+            by_gid: dict[int, list[int]] = {}
+            for rank, (op, _s) in pending.items():
+                by_gid.setdefault(op.group.gid, []).append(rank)
+            for gid in sorted(by_gid):
+                ranks = by_gid[gid]
+                group = pending[ranks[0]][0].group
+                waiting = set(ranks)
+                missing = [m for m in group.members if m not in waiting]
+                if any(m not in finished for m in missing):
+                    continue  # someone is still computing; not ready yet
+                if missing:
+                    raise DeadlockError(
+                        f"collective {pending[ranks[0]][0].kind!r} on group "
+                        f"{gid} can never complete: member(s) {missing} "
+                        f"already terminated while {sorted(waiting)} are "
+                        "waiting"
+                    )
+                ops = sorted((pending[r][0] for r in ranks),
+                             key=lambda o: o.local_rank)
+                kinds = {op.kind for op in ops}
+                if len(kinds) != 1:
+                    detail = {op.sender: op.kind for op in ops}
+                    raise CollectiveMismatchError(
+                        f"group {gid} members issued different collectives: "
+                        f"{detail}"
+                    )
+                kind = ops[0].kind
+                if kind in ("bcast", "gather", "scatter", "reduce"):
+                    roots = {op.root for op in ops}
+                    if len(roots) != 1:
+                        raise CollectiveMismatchError(
+                            f"group {gid} members disagree on the {kind} "
+                            f"root: {roots}"
+                        )
+                handler = getattr(engine, f"_exec_{kind}", None)
+                if handler is None:
+                    raise CollectiveMismatchError(
+                        f"unknown collective kind {kind!r}"
+                    )
+                # Scratch counters collect this collective's charges; the
+                # workers apply them so per-rank totals accumulate in the
+                # simulator's exact order (bit-equal floats).
+                scratch = [ProcCounters() for _ in range(p)]
+                results = handler(group, ops, scratch, None)
+                since = {r: pending[r][1] for r in ranks}
+                slowest = max(since.values())
+                for op, res in zip(ops, results):
+                    m = op.sender
+                    wire = encode_payload(res, self.shm_threshold)
+                    reply_refs[m] = collect_shm_names(wire)
+                    sc = scratch[m]
+                    try:
+                        pool.conns[m].send((
+                            REPLY_RESULT, wire, slowest - since[m],
+                            sc.ops, sc.words_sent, sc.words_recv, sc.misses,
+                        ))
+                    except (BrokenPipeError, OSError):
+                        raise self._crash(pool, m) from None
+                    del pending[m]
+
+        try:
+            self._event_loop(engine, pool, p, pending, finished, handle,
+                             execute_ready)
+        finally:
+            # Replies a worker never consumed (error teardown) would leak
+            # their segments; reclaim them here (no-op on clean runs).
+            unlink_segments(
+                name for names in reply_refs.values() for name in names
+            )
+
+        report = CountersReport.from_procs(list(counters))
+        return RunResult(
+            values=values,
+            report=report,
+            time=TimeEstimate(app_s=max(app_s), mpi_s=max(mpi_s)),
+            trace=None,
+        )
+
+    def _event_loop(self, engine, pool, p, pending, finished, handle,
+                    execute_ready) -> None:
+        while len(finished) < p:
+            waitables = [
+                pool.conns[r] for r in range(p) if r not in finished
+            ] + [
+                pool.procs[r].sentinel for r in range(p) if r not in finished
+            ]
+            ready = _conn_wait(waitables, timeout=self.timeout)
+            if not ready:
+                silent = sorted(
+                    r for r in range(p)
+                    if r not in finished and r not in pending
+                ) or sorted(r for r in range(p) if r not in finished)
+                raise WorkerTimeoutError(self.timeout, silent)
+            ready_ids = {id(obj) for obj in ready}
+            # Messages first: a worker that reported and exited is not a crash.
+            for rank in range(p):
+                conn = pool.conns[rank]
+                if rank in finished or id(conn) not in ready_ids:
+                    continue
+                try:
+                    while conn.poll():
+                        handle(conn.recv())
+                except EOFError:
+                    pass  # fall through to the sentinel check
+            for obj in ready:
+                rank = pool.sentinel_rank.get(obj)
+                if rank is None or rank in finished:
+                    continue
+                try:
+                    while pool.conns[rank].poll():
+                        handle(pool.conns[rank].recv())
+                except EOFError:
+                    pass
+                if rank not in finished:
+                    # Died before reporting — either mid-compute or while
+                    # blocked inside a collective request.
+                    raise self._crash(pool, rank)
+            execute_ready()

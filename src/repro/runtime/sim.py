@@ -1,0 +1,52 @@
+"""The simulator backend: the deterministic single-process BSP engine.
+
+A thin :class:`Backend` adapter over :class:`repro.bsp.engine.Engine` —
+semantics, counters and the analytic §5.3 time estimate are exactly the
+engine's.  This is the default backend, the correctness/cost oracle the
+differential harness holds the real runtimes against, and the only backend
+that supports collective tracing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.bsp.engine import Engine, RunResult
+from repro.bsp.machine import MachineModel
+from repro.cache.model import CacheParams
+from repro.runtime.base import Backend
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """Run SPMD programs on the single-process BSP simulator."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        *,
+        engine: Engine | None = None,
+        cache: CacheParams | None = None,
+        machine: MachineModel | None = None,
+        trace: bool = False,
+    ):
+        if engine is not None and (cache is not None or machine is not None
+                                   or trace):
+            raise ValueError(
+                "pass either a ready engine or cache/machine/trace, not both"
+            )
+        self.engine = engine or Engine(cache=cache, machine=machine, trace=trace)
+
+    def run(
+        self,
+        program: Callable[..., Generator],
+        p: int,
+        *,
+        seed: int = 0,
+        args: Iterable[Any] = (),
+        kwargs: dict | None = None,
+    ) -> RunResult:
+        """Delegate to :meth:`Engine.run` (analytic ``TimeEstimate``)."""
+        return self.engine.run(program, p, seed=seed, args=args, kwargs=kwargs)

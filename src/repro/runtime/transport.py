@@ -1,0 +1,140 @@
+"""Shared-memory payload transport for the multiprocess backend.
+
+Control messages travel over ``multiprocessing`` pipes (pickle), but bulk
+numpy payloads — edge arrays, gathered samples, dense matrix blocks — are
+hoisted out of the pickle stream into POSIX shared memory: the sender
+copies the array into a :class:`~multiprocessing.shared_memory.SharedMemory`
+segment and ships only a small :class:`ShmArrayRef` descriptor; the receiver
+attaches, copies out, and unlinks the segment.
+
+The discipline is strictly single-reader: every encoded message has exactly
+one recipient, which owns the segment's lifetime after decode.  The sender
+unregisters the segment from its own ``resource_tracker`` immediately after
+creation so that neither side's tracker warns about (or double-frees) a
+segment the other side already reclaimed.
+
+Arrays below :data:`DEFAULT_SHM_THRESHOLD` bytes stay inline in the pickle
+— a pipe round-trip is cheaper than two page-aligned copies for small
+payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SHM_THRESHOLD",
+    "ShmArrayRef",
+    "encode_payload",
+    "decode_payload",
+    "collect_shm_names",
+    "unlink_segments",
+]
+
+#: Minimum ``ndarray.nbytes`` for the shared-memory path (64 KiB).
+DEFAULT_SHM_THRESHOLD = 1 << 16
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Wire descriptor of an ndarray parked in a shared-memory segment."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def _stash_array(arr: np.ndarray) -> ShmArrayRef:
+    """Copy ``arr`` into a fresh shared-memory segment owned by the reader."""
+    arr = np.ascontiguousarray(arr)
+    seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    try:
+        dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        dst[...] = arr
+        return ShmArrayRef(name=seg.name, shape=arr.shape, dtype=arr.dtype.str)
+    finally:
+        # The reader unlinks after decoding; forget the segment here so the
+        # sender's resource tracker neither warns nor double-unlinks it.
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker is best-effort anyway
+            pass
+        seg.close()
+
+
+def _fetch_array(ref: ShmArrayRef) -> np.ndarray:
+    """Materialize a stashed array and reclaim its segment."""
+    seg = shared_memory.SharedMemory(name=ref.name)
+    try:
+        src = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        return src.copy()
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
+def encode_payload(obj, threshold: int = DEFAULT_SHM_THRESHOLD):
+    """Replace large ndarrays in ``obj`` with shared-memory descriptors.
+
+    Walks tuples, lists and dict values (the shapes collectives move);
+    everything else passes through to the pipe's pickle stream untouched.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= threshold and not obj.dtype.hasobject:
+            return _stash_array(obj)
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(encode_payload(x, threshold) for x in obj)
+    if isinstance(obj, list):
+        return [encode_payload(x, threshold) for x in obj]
+    if isinstance(obj, dict):
+        return {k: encode_payload(v, threshold) for k, v in obj.items()}
+    return obj
+
+
+def decode_payload(obj):
+    """Inverse of :func:`encode_payload`; reclaims every referenced segment."""
+    if isinstance(obj, ShmArrayRef):
+        return _fetch_array(obj)
+    if isinstance(obj, tuple):
+        return tuple(decode_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [decode_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: decode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def collect_shm_names(obj, out: list[str] | None = None) -> list[str]:
+    """Segment names referenced by an *encoded* wire object."""
+    if out is None:
+        out = []
+    if isinstance(obj, ShmArrayRef):
+        out.append(obj.name)
+    elif isinstance(obj, (tuple, list)):
+        for x in obj:
+            collect_shm_names(x, out)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            collect_shm_names(v, out)
+    return out
+
+
+def unlink_segments(names) -> None:
+    """Best-effort reclamation of leaked segments (error-path cleanup)."""
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent unlink
+            pass

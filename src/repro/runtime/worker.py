@@ -1,0 +1,146 @@
+"""Worker-process side of the multiprocess backend.
+
+Each OS process runs the **same generator program** the simulator runs,
+with a real :class:`~repro.bsp.engine.Context` (own Philox stream, own
+:class:`~repro.bsp.counters.ProcCounters`, shared cache geometry).  The
+driver loop below plays the engine's role locally: it advances the
+generator until it yields a :class:`~repro.bsp.comm.CollectiveOp`, ships
+the request to the coordinator over a pipe (bulk arrays via shared
+memory), blocks for the result, and resumes the generator with it.
+
+Counter parity with the simulator is bit-exact by construction: program
+charges accumulate locally in exactly the simulator's order, and the
+coordinator's reply carries the collective's charges (imbalance wait,
+reduction ops, transfer words, transfer misses) which are applied in the
+same field order the engine uses.  Wall-clock is split into *application*
+time (generator running) and *MPI* time (blocked on a collective), the
+measured analogue of the paper's T_app/T_MPI decomposition.
+
+Must be spawn-safe: this module is imported fresh in spawned children, the
+worker entry point is a top-level function, and everything a worker needs
+arrives in a picklable :class:`WorkerSpec`.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Any, Callable, Generator
+
+from repro.bsp.comm import CollectiveOp, Communicator, Group
+from repro.bsp.counters import ProcCounters
+from repro.bsp.engine import Context
+from repro.bsp.errors import CollectiveMismatchError
+from repro.cache.model import CacheParams
+from repro.rng.streams import RngStreams
+from repro.runtime.transport import decode_payload, encode_payload
+
+__all__ = ["WorkerSpec", "worker_main", "MSG_OP", "MSG_DONE", "MSG_ERROR",
+           "REPLY_RESULT"]
+
+#: Wire tags: worker -> coordinator.
+MSG_OP = "op"
+MSG_DONE = "done"
+MSG_ERROR = "error"
+
+#: Wire tags: coordinator -> worker.
+REPLY_RESULT = "result"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker needs, shipped picklable at process start."""
+
+    rank: int
+    p: int
+    world_gid: int
+    seed: int
+    cache: CacheParams
+    program: Callable[..., Generator]
+    args: tuple
+    kwargs: dict
+    shm_threshold: int
+
+
+def _drive(conn, spec: WorkerSpec) -> None:
+    """Run the program to completion, brokering collectives via ``conn``."""
+    world = Group(spec.world_gid, tuple(range(spec.p)))
+    counters = ProcCounters()
+    ctx = Context(
+        rank=spec.rank,
+        p=spec.p,
+        comm=Communicator(world, spec.rank),
+        rng=RngStreams(spec.seed).for_rank(spec.rank),
+        counters=counters,
+        cache=spec.cache,
+    )
+    gen = gen_value = None
+    app_s = mpi_s = 0.0
+    inbox = None
+
+    gen = spec.program(ctx, *spec.args, **spec.kwargs)
+    while True:
+        t0 = perf_counter()
+        try:
+            op = gen.send(inbox)
+        except StopIteration as stop:
+            app_s += perf_counter() - t0
+            gen_value = stop.value
+            break
+        app_s += perf_counter() - t0
+
+        if not isinstance(op, CollectiveOp):
+            raise TypeError(
+                f"rank {spec.rank} yielded {type(op).__name__}; programs may "
+                "only yield collective operations (use `yield from comm.<op>`)"
+            )
+        if op.sender != spec.rank:
+            raise CollectiveMismatchError(
+                f"rank {spec.rank} issued a collective through rank "
+                f"{op.sender}'s communicator view"
+            )
+
+        # Snapshot the imbalance input *before* blocking: ops charged since
+        # this rank's previous synchronization (the engine's `since_sync`).
+        since_sync = counters.ops - counters.ops_at_last_sync
+        t1 = perf_counter()
+        wire = replace(op, payload=encode_payload(op.payload, spec.shm_threshold))
+        conn.send((MSG_OP, spec.rank, wire, since_sync))
+        msg = conn.recv()
+        mpi_s += perf_counter() - t1
+
+        if msg[0] != REPLY_RESULT:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected coordinator reply {msg[0]!r}")
+        _, payload, wait_delta, extra_ops, sent, recv, comm_misses = msg
+
+        # Apply the collective's charges in the engine's order: sync
+        # accounting first, then the handler's computation/transfer costs.
+        counters.wait_ops += wait_delta
+        counters.ops_at_last_sync = counters.ops
+        counters.supersteps += 1
+        counters.charge(ops=extra_ops)
+        counters.charge_comm(sent, recv, misses=comm_misses)
+        inbox = decode_payload(payload)
+
+    conn.send((
+        MSG_DONE, spec.rank,
+        encode_payload(gen_value, spec.shm_threshold),
+        counters, app_s, mpi_s,
+    ))
+
+
+def worker_main(conn, spec: WorkerSpec) -> None:
+    """Process entry point: drive the program, report errors, never raise."""
+    try:
+        _drive(conn, spec)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+        try:
+            conn.send((
+                MSG_ERROR, spec.rank, type(exc).__name__,
+                traceback.format_exc(),
+            ))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()

@@ -1,4 +1,6 @@
-"""Shared fixtures: deterministic RNGs and a zoo of small graphs."""
+"""Shared fixtures: deterministic RNGs, small graphs, backend selection."""
+
+import functools
 
 import numpy as np
 import pytest
@@ -10,6 +12,38 @@ from repro.graph import (
     watts_strogatz,
 )
 from repro.rng import philox_stream
+
+
+@functools.lru_cache(maxsize=1)
+def mp_available() -> bool:
+    """Whether this environment can run real worker processes.
+
+    Sandboxes sometimes forbid fork/exec or strip /dev/shm; probe once with
+    a trivial child so mp-backend tests skip gracefully instead of erroring.
+    """
+    import multiprocessing
+
+    try:
+        proc = multiprocessing.get_context().Process(target=int, daemon=True)
+        proc.start()
+        proc.join(30)
+        return proc.exitcode == 0
+    except Exception:
+        return False
+
+
+def require_mp():
+    """Skip the calling test when worker processes cannot be spawned."""
+    if not mp_available():
+        pytest.skip("real worker processes unavailable in this environment")
+
+
+@pytest.fixture(params=["sim", "mp"])
+def backend(request):
+    """Run the test once per execution backend, skipping mp if unusable."""
+    if request.param == "mp":
+        require_mp()
+    return request.param
 
 
 @pytest.fixture

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.graph import read_edgelist
+from tests.conftest import require_mp
 
 
 @pytest.fixture
@@ -90,3 +91,58 @@ class TestAlgorithms:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestValidation:
+    """Out-of-domain numeric options exit with a usage error (code 2)."""
+
+    @pytest.mark.parametrize("procs", ["0", "-1", "-8"])
+    def test_procs_floor(self, graph_file, capsys, procs):
+        with pytest.raises(SystemExit) as exc:
+            main(["parallel_cc", str(graph_file), "--procs", procs])
+        assert exc.value.code == 2
+        assert "--procs must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("scale", ["0", "-0.5"])
+    def test_trial_scale_positive(self, graph_file, capsys, scale):
+        with pytest.raises(SystemExit) as exc:
+            main(["square_root", str(graph_file), "--trial-scale", scale])
+        assert exc.value.code == 2
+        assert "--trial-scale must be > 0" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("prob", ["0", "1", "1.5", "-0.1"])
+    def test_success_prob_open_interval(self, graph_file, capsys, prob):
+        with pytest.raises(SystemExit) as exc:
+            main(["square_root", str(graph_file), "--success-prob", prob])
+        assert exc.value.code == 2
+        assert "--success-prob must be in (0, 1)" in capsys.readouterr().err
+
+    def test_trials_floor(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["square_root", str(graph_file), "--trials", "0"])
+        assert exc.value.code == 2
+        assert "--trials must be >= 1" in capsys.readouterr().err
+
+    def test_boundary_values_accepted(self, graph_file):
+        assert main(["parallel_cc", str(graph_file), "--procs", "1"]) == 0
+        assert main(["square_root", str(graph_file), "--trials", "1",
+                     "--trial-scale", "0.01", "--success-prob", "0.5"]) == 0
+
+
+class TestBackendOption:
+    def test_unknown_backend_rejected(self, graph_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["parallel_cc", str(graph_file), "--backend", "gpu"])
+        assert exc.value.code == 2
+
+    def test_mp_matches_sim_result_column(self, graph_file, capsys):
+        require_mp()
+        main(["parallel_cc", str(graph_file), "--seed", "4",
+              "--backend", "sim"])
+        sim_fields = capsys.readouterr().out.strip().split(",")
+        main(["parallel_cc", str(graph_file), "--seed", "4",
+              "--backend", "mp"])
+        mp_fields = capsys.readouterr().out.strip().split(",")
+        # identical CSV record except the two measured-time columns
+        assert mp_fields[8] == sim_fields[8]  # component count
+        assert mp_fields[:5] == sim_fields[:5]

@@ -119,6 +119,23 @@ class TestApproxMinCut:
             approx_minimum_cut(EdgeList.empty(3), p=1, seed=0)
 
 
+class TestBackends:
+    """The same entry point on each execution backend (smoke-level)."""
+
+    def test_ratio_bound_by_backend(self, backend):
+        g = two_cliques_bridge(6, bridge_weight=2.0)
+        r = approx_minimum_cut(g, p=2, seed=29, backend=backend)
+        assert 2.0 / 16 <= r.estimate <= 2.0 * 16
+
+    def test_backends_agree_exactly(self, backend):
+        g = erdos_renyi(60, 300, philox_stream(82), weighted=True)
+        ref = approx_minimum_cut(g, p=3, seed=30)  # sim oracle
+        res = approx_minimum_cut(g, p=3, seed=30, backend=backend)
+        assert res.estimate == ref.estimate
+        assert res.witness_value == ref.witness_value
+        assert res.report == ref.report
+
+
 class TestTrialMath:
     def test_survival_probability_formula(self):
         assert eager_survival_probability(10, 10) == 1.0

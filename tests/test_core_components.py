@@ -113,6 +113,23 @@ class TestDeterminismAndCosts:
             assert res.n_components == networkx_components(g)
 
 
+class TestBackends:
+    """The same entry point on each execution backend (smoke-level)."""
+
+    def test_components_by_backend(self, backend):
+        g = erdos_renyi(200, 260, philox_stream(22))
+        res = connected_components(g, p=3, seed=13, backend=backend)
+        assert res.n_components == networkx_components(g)
+        assert (res.labels[g.u] == res.labels[g.v]).all()
+
+    def test_backends_agree_exactly(self, backend):
+        g = erdos_renyi(150, 200, philox_stream(23))
+        ref = connected_components(g, p=3, seed=14)  # sim oracle
+        res = connected_components(g, p=3, seed=14, backend=backend)
+        assert np.array_equal(res.labels, ref.labels)
+        assert res.report == ref.report
+
+
 class TestSequential:
     def test_matches_parallel(self):
         g = erdos_renyi(250, 260, philox_stream(20))

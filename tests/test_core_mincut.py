@@ -95,6 +95,24 @@ class TestParallelPaths:
         assert g.cut_value(r.side) == 0.0
 
 
+class TestBackends:
+    """The same entry point on each execution backend (smoke-level)."""
+
+    def test_known_cut_by_backend(self, backend):
+        g = two_cliques_bridge(6, bridge_weight=2.0)
+        r = minimum_cut(g, p=2, seed=33, trials=6, backend=backend)
+        assert r.value == 2.0
+        assert g.cut_value(r.side) == 2.0
+
+    def test_backends_agree_exactly(self, backend):
+        g = erdos_renyi(40, 200, philox_stream(52), weighted=True)
+        ref = minimum_cut(g, p=3, seed=34, trials=4)  # sim oracle
+        res = minimum_cut(g, p=3, seed=34, trials=4, backend=backend)
+        assert res.value == ref.value
+        assert np.array_equal(res.side, ref.side)
+        assert res.report == ref.report
+
+
 class TestDeterminism:
     def test_same_seed_same_cut(self):
         g = erdos_renyi(40, 160, philox_stream(60), weighted=True)
