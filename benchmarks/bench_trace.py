@@ -1,0 +1,119 @@
+"""Microbenchmark: cost of the tracing hook on the BSP engine hot path.
+
+Three configurations of the same fixed iterated-sampling CC workload:
+
+* ``off`` — the default :class:`~repro.trace.tracer.NullTracer`; an
+  untraced run pays exactly one ``tracer.enabled`` attribute check per
+  executed collective, so this must sit inside the blessed
+  ``results/perf_baseline.json`` envelope (the perf gate's counter
+  fingerprints and timings are checked *without* re-blessing — that is
+  the zero-overhead-when-off acceptance criterion).
+* ``recording`` — a :class:`~repro.trace.tracer.RecordingTracer`:
+  the real price of per-superstep event capture (exact_delta chains and
+  snapshot tuples), reported as a ratio over ``off``.
+* ``recording+jsonl`` — capture plus serialization to a JSON-lines
+  file, the full ``--trace PATH`` pipeline.
+
+Run standalone::
+
+    PYTHONPATH=src python -m benchmarks.bench_trace [--scale N] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import time
+
+from repro.core import connected_components
+from repro.graph import barabasi_albert
+from repro.rng import philox_stream
+from repro.runtime.sim import SimBackend
+from repro.trace import RecordingTracer, write_jsonl
+
+__all__ = ["run_benchmarks"]
+
+#: Default workload at --scale 1.0.
+_N = 4_000
+_DEGREE = 8
+_P = 8
+_REPEATS = 5
+
+
+def _best_of(fn, repeats: int = _REPEATS) -> tuple[float, object]:
+    """Minimum wall-clock of ``repeats`` runs (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_benchmarks(scale: float = 1.0, seed: int = 0) -> dict:
+    """Time the three tracing configurations; return a results record."""
+    n = max(64, int(_N * scale))
+    g = barabasi_albert(n, _DEGREE, philox_stream(seed))
+
+    def run_off():
+        return connected_components(g, p=_P, seed=seed)
+
+    def run_recording():
+        return connected_components(
+            g, p=_P, seed=seed, backend=SimBackend(tracer=RecordingTracer())
+        )
+
+    def run_jsonl():
+        res = run_recording()
+        write_jsonl(res.trace, io.StringIO())
+        return res
+
+    off_s, res_off = _best_of(run_off)
+    rec_s, res_rec = _best_of(run_recording)
+    jsonl_s, _ = _best_of(run_jsonl)
+
+    assert res_off.report == res_rec.report, (
+        "tracing altered the simulated run"
+    )
+    assert res_off.trace is None and res_rec.trace is not None
+    return {
+        "trace_off": {"fast_s": off_s, "events": 0},
+        "trace_recording": {
+            "fast_s": rec_s,
+            "events": len(res_rec.trace),
+            "overhead": rec_s / off_s if off_s else float("inf"),
+        },
+        "trace_recording_jsonl": {
+            "fast_s": jsonl_s,
+            "events": len(res_rec.trace),
+            "overhead": jsonl_s / off_s if off_s else float("inf"),
+        },
+        "meta": {"n": n, "p": _P, "scale": scale, "seed": seed},
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="workload size multiplier (default 1.0)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    args = ap.parse_args(argv)
+    record = run_benchmarks(scale=args.scale, seed=args.seed)
+    if args.json:
+        print(json.dumps(record, indent=1, sort_keys=True))
+        return 0
+    off = record["trace_off"]["fast_s"]
+    print(f"trace off:              {off * 1e3:8.2f} ms  (baseline)")
+    for key in ("trace_recording", "trace_recording_jsonl"):
+        r = record[key]
+        print(f"{key + ':':<24}{r['fast_s'] * 1e3:8.2f} ms  "
+              f"({r['overhead']:.2f}x, {r['events']} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,13 @@ from repro.core import (
     MinCutResult,
 )
 from repro.bsp import Engine, MachineModel, run_spmd
+from repro.trace import (
+    TraceEvent,
+    RecordingTracer,
+    aggregate_trace,
+    read_jsonl,
+    write_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -57,5 +64,10 @@ __all__ = [
     "Engine",
     "MachineModel",
     "run_spmd",
+    "TraceEvent",
+    "RecordingTracer",
+    "aggregate_trace",
+    "read_jsonl",
+    "write_jsonl",
     "__version__",
 ]

@@ -53,6 +53,12 @@ class ProcCounters:
         """BSP communication volume: max of sent and received words."""
         return max(self.words_sent, self.words_recv)
 
+    def snapshot(self) -> tuple[float, float, float, float, float, int]:
+        """Cumulative totals as a wire-friendly tuple, in the field order
+        the trace layer consumes: (ops, sent, recv, misses, wait, supersteps)."""
+        return (self.ops, self.words_sent, self.words_recv,
+                self.misses, self.wait_ops, self.supersteps)
+
 
 @dataclass(frozen=True)
 class CountersReport:

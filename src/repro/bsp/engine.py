@@ -28,8 +28,15 @@ from repro.bsp.errors import CollectiveMismatchError, DeadlockError
 from repro.bsp.machine import MachineModel, TimeEstimate
 from repro.cache.model import CacheParams
 from repro.rng.streams import RngStreams
+from repro.trace.events import FINAL, TraceEvent
+from repro.trace.tracer import NULL_TRACER, RecordingTracer, Tracer
 
 __all__ = ["Context", "Engine", "RunResult", "CollectiveEvent", "run_spmd"]
+
+#: The engine's original per-collective record is now the trace layer's
+#: event type (a strict superset: same leading kind/gid/participants/words
+#: fields, plus per-rank since-sync deltas and ordering metadata).
+CollectiveEvent = TraceEvent
 
 
 class Context:
@@ -92,23 +99,13 @@ class Context:
 
 
 @dataclass(frozen=True)
-class CollectiveEvent:
-    """One executed collective, as recorded by a tracing engine."""
-
-    kind: str
-    gid: int
-    participants: tuple[int, ...]   # global ranks, in local-rank order
-    words: int                      # total payload words moved
-
-
-@dataclass(frozen=True)
 class RunResult:
     """Outcome of one SPMD run: per-rank return values + aggregated costs."""
 
     values: list
     report: CountersReport
     time: TimeEstimate
-    trace: list[CollectiveEvent] | None = None
+    trace: list[TraceEvent] | None = None
 
     @property
     def root_value(self) -> Any:
@@ -116,13 +113,41 @@ class RunResult:
         return self.values[0]
 
     def trace_kinds(self) -> list[str]:
-        """Sequence of executed collective kinds (tracing engines only)."""
+        """Sequence of executed collective kinds (traced runs only).
+
+        The terminal :data:`~repro.trace.events.FINAL` flush record is not
+        a collective and is excluded, which keeps this list exactly what
+        it was before the per-superstep trace layer existed.
+        """
         if self.trace is None:
             raise ValueError("run without trace=True has no event log")
-        return [ev.kind for ev in self.trace]
+        return [ev.kind for ev in self.trace if ev.kind != FINAL]
 
 
 _DONE = object()
+
+
+def _zigzag(x: int) -> int:
+    """Fold an integer onto the non-negatives (for the gid pairing)."""
+    return 2 * x if x >= 0 else -2 * x - 1
+
+
+def _cantor(a: int, b: int) -> int:
+    """Cantor pairing: a bijection N x N -> N."""
+    return (a + b) * (a + b + 1) // 2 + b
+
+
+def _split_gid(parent_gid: int, split_seq: int, color: int) -> int:
+    """Deterministic gid of a split-created group.
+
+    A pure function of (parent group, how many splits that group executed
+    before this one, color) — all scheduler-independent quantities — so
+    sub-communicator identities, and with them trace event streams, are
+    identical across backends regardless of how concurrently-progressing
+    groups interleave.  The +2 keeps clear of the world gid (1) and the
+    trace FINAL record's gid (0); injectivity is Cantor's.
+    """
+    return _cantor(_cantor(parent_gid, split_seq), _zigzag(color)) + 2
 
 
 class Engine:
@@ -130,12 +155,21 @@ class Engine:
 
     def __init__(self, cache: CacheParams | None = None,
                  machine: MachineModel | None = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 tracer: Tracer | None = None):
+        if trace and tracer is not None:
+            raise ValueError(
+                "pass either trace=True (a default RecordingTracer) or an "
+                "explicit tracer, not both"
+            )
         self.cache = cache or CacheParams()
         self.machine = machine or MachineModel()
-        self.trace = trace
+        self._tracer = tracer if tracer is not None else (
+            RecordingTracer() if trace else NULL_TRACER
+        )
+        self.trace = self._tracer.enabled
         self._next_gid = 0
-        self._events: list[CollectiveEvent] | None = None
+        self._split_seq: dict[int, int] = {}
 
     def _new_group(self, members: tuple[int, ...]) -> Group:
         self._next_gid += 1
@@ -169,7 +203,12 @@ class Engine:
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
         kwargs = kwargs or {}
-        self._events = [] if self.trace else None
+        # Group ids restart every run so gids (and traces) are a pure
+        # function of (program, p, seed), even on a reused engine.
+        self._next_gid = 0
+        self._split_seq = {}
+        tracer = self._tracer
+        events_before = len(tracer)
         streams = RngStreams(seed)
         counters = [ProcCounters() for _ in range(p)]
         world = self._new_group(tuple(range(p)))
@@ -261,10 +300,17 @@ class Engine:
                     f"terminated: {[r for r in range(p) if gens[r] is None]}"
                 )
 
+        trace = None
+        if tracer.enabled:
+            tracer.on_finish([c.snapshot() for c in counters])
+            # This run's slice: canonical order, and a tracer spanning
+            # several runs keeps Lamport steps strictly increasing, so
+            # earlier runs' events sort strictly before ours.
+            trace = tracer.events()[events_before:]
         report = CountersReport.from_procs(counters)
         return RunResult(values=values, report=report,
                          time=self.machine.predict(report),
-                         trace=self._events)
+                         trace=trace)
 
     # -- collective execution ------------------------------------------------
 
@@ -300,11 +346,14 @@ class Engine:
         if handler is None:
             raise CollectiveMismatchError(f"unknown collective kind {kind!r}")
         results = handler(group, ops, counters, ctxs)
-        if self._events is not None:
-            self._events.append(CollectiveEvent(
-                kind=kind, gid=group.gid, participants=group.members,
+        if self._tracer.enabled:
+            # Post-collective cumulative snapshots: the tracer derives the
+            # exact since-sync deltas itself (ops[i].sender == members[i]).
+            self._tracer.on_collective(
+                kind=kind, gid=group.gid, participants=members,
                 words=sum(payload_words(op.payload) for op in ops),
-            ))
+                snapshots=[counters[m].snapshot() for m in members],
+            )
         for op, res in zip(ops, results):
             inbox[op.sender] = res
 
@@ -413,13 +462,18 @@ class Engine:
 
     def _exec_split(self, group, ops, counters, ctxs):
         # payload = (color, key); new groups ordered by color, then (key, rank).
+        # Child gids are a deterministic function of (parent gid, split
+        # sequence number, color) so that traces match across backends.
+        seq = self._split_seq.get(group.gid, 0)
+        self._split_seq[group.gid] = seq + 1
         by_color: dict[int, list[CollectiveOp]] = {}
         for op in ops:
             by_color.setdefault(op.payload[0], []).append(op)
         new_comm: dict[int, Communicator] = {}
         for color in sorted(by_color):
             cohort = sorted(by_color[color], key=lambda o: (o.payload[1], o.local_rank))
-            new_group = self._new_group(tuple(o.sender for o in cohort))
+            new_group = Group(_split_gid(group.gid, seq, color),
+                              tuple(o.sender for o in cohort))
             for local, op in enumerate(cohort):
                 new_comm[op.sender] = Communicator(new_group, local)
         for op in ops:
@@ -436,13 +490,16 @@ def run_spmd(
     kwargs: dict | None = None,
     cache: CacheParams | None = None,
     machine: MachineModel | None = None,
+    trace: bool = False,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """One-shot convenience wrapper: build an :class:`Engine` and run.
 
     Shares :meth:`Engine.run`'s processor-count contract: ``p`` must be an
     integer >= 1, enforced with ``TypeError``/``ValueError`` before any
-    program code runs.
+    program code runs.  ``trace=True`` (or an explicit ``tracer``) records
+    the per-superstep event stream in ``RunResult.trace``.
     """
-    return Engine(cache=cache, machine=machine).run(
+    return Engine(cache=cache, machine=machine, trace=trace, tracer=tracer).run(
         program, p, seed=seed, args=args, kwargs=kwargs
     )

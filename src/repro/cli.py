@@ -27,6 +27,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core import approx_minimum_cut, connected_components, minimum_cut
@@ -56,12 +57,36 @@ def _profile_line(path, seed, p, g, time, tag, result) -> str:
     )
 
 
+def _backend_spec(args):
+    """The ``backend=`` value for the algorithm entry point: the plain
+    name, or — under ``--trace`` — a resolved backend carrying a fresh
+    :class:`~repro.trace.tracer.RecordingTracer`."""
+    if not getattr(args, "trace", None):
+        return args.backend
+    from repro.runtime.base import resolve_backend
+    from repro.trace import RecordingTracer
+
+    return resolve_backend(args.backend, tracer=RecordingTracer())
+
+
+def _emit_trace(args, trace) -> None:
+    """Write the JSON-lines trace file and print the summary table."""
+    if not getattr(args, "trace", None):
+        return
+    from repro.trace import format_summary, write_jsonl
+
+    count = write_jsonl(trace, args.trace)
+    print(f"trace: {count} events -> {args.trace}")
+    print(format_summary(trace))
+
+
 def _cmd_parallel_cc(args) -> int:
     g = read_edgelist(args.input)
     res = connected_components(g, p=args.procs, seed=args.seed,
-                               backend=args.backend)
+                               backend=_backend_spec(args))
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "cc", res.n_components))
+    _emit_trace(args, res.trace)
     return 0
 
 
@@ -69,10 +94,11 @@ def _cmd_approx_cut(args) -> int:
     g = read_edgelist(args.input)
     res = approx_minimum_cut(
         g, p=args.procs, seed=args.seed, pipelined=args.pipelined,
-        backend=args.backend,
+        backend=_backend_spec(args),
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "approx_cut", f"{res.estimate:g}"))
+    _emit_trace(args, res.trace)
     return 0
 
 
@@ -81,10 +107,11 @@ def _cmd_square_root(args) -> int:
     res = minimum_cut(
         g, p=args.procs, seed=args.seed,
         success_prob=args.success_prob, trial_scale=args.trial_scale,
-        trials=args.trials, backend=args.backend,
+        trials=args.trials, backend=_backend_spec(args),
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "square_root", f"{res.value:g}"))
+    _emit_trace(args, res.trace)
     return 0
 
 
@@ -125,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--backend", choices=_BACKENDS, default="sim",
                         help="execution runtime: BSP simulator (sim, "
                              "default) or real OS processes (mp)")
+        sp.add_argument("--trace", metavar="PATH", default=None,
+                        help="record one trace event per collective per "
+                             "group to this JSON-lines file and print a "
+                             "per-superstep summary table")
 
     sp = sub.add_parser("parallel_cc", help="connected components (§3.2)")
     common(sp)
@@ -174,6 +205,13 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     trials = getattr(args, "trials", None)
     if trials is not None and trials < 1:
         parser.error(f"--trials must be >= 1, got {trials}")
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        d = os.path.dirname(os.path.abspath(trace))
+        if not os.path.isdir(d):
+            parser.error(f"--trace directory does not exist: {d}")
+        if not os.access(d, os.W_OK):
+            parser.error(f"--trace directory is not writable: {d}")
 
 
 def main(argv: list[str] | None = None) -> int:

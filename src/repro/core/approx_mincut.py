@@ -205,6 +205,8 @@ class ApproxMinCutResult:
     witness_side: np.ndarray | None
     report: CountersReport
     time: TimeEstimate
+    #: Per-superstep TraceEvents when the backend traced, else None.
+    trace: list | None = None
 
 
 def approx_minimum_cut(
@@ -243,5 +245,5 @@ def approx_minimum_cut(
     estimate, witness_value, side = result.root_value
     return ApproxMinCutResult(
         estimate=estimate, witness_value=witness_value, witness_side=side,
-        report=result.report, time=result.time,
+        report=result.report, time=result.time, trace=result.trace,
     )

@@ -219,6 +219,8 @@ class CCResult:
     n_components: int
     report: CountersReport   # BSP cost counters (max over processors)
     time: TimeEstimate       # machine-model predicted times
+    #: Per-superstep TraceEvents when the backend traced, else None.
+    trace: list | None = None
 
     def __post_init__(self):
         assert self.labels.max(initial=-1) < self.n_components
@@ -259,7 +261,7 @@ def connected_components(
     labels, count = result.root_value
     return CCResult(
         labels=labels, n_components=count,
-        report=result.report, time=result.time,
+        report=result.report, time=result.time, trace=result.trace,
     )
 
 

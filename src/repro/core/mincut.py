@@ -524,6 +524,8 @@ class MinCutResult:
     trials: int
     report: CountersReport
     time: TimeEstimate
+    #: Per-superstep TraceEvents when the backend traced, else None.
+    trace: list | None = None
 
 
 def minimum_cut(
@@ -573,7 +575,7 @@ def minimum_cut(
         side = side[lift]
     return MinCutResult(
         value=value, side=side, trials=trials,
-        report=result.report, time=result.time,
+        report=result.report, time=result.time, trace=result.trace,
     )
 
 
@@ -586,6 +588,8 @@ class MinCutsResult:
     trials: int
     report: CountersReport
     time: TimeEstimate
+    #: Per-superstep TraceEvents when the backend traced, else None.
+    trace: list | None = None
 
 
 def minimum_cuts(
@@ -622,7 +626,7 @@ def minimum_cuts(
     sides = [cuts[k] for k in sorted(cuts)]
     return MinCutsResult(
         value=value, sides=sides, trials=trials,
-        report=result.report, time=result.time,
+        report=result.report, time=result.time, trace=result.trace,
     )
 
 

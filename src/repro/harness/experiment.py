@@ -25,16 +25,19 @@ __all__ = ["median_ci", "measure", "Datapoint", "run_algorithm"]
 
 
 def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
-                  backend=None, **kwargs):
+                  backend=None, tracer=None, **kwargs):
     """Run one of the artifact algorithms on a chosen execution backend.
 
     ``algorithm`` is an artifact executable tag: ``"parallel_cc"``,
     ``"approx_cut"`` or ``"square_root"``.  ``backend`` is ``"sim"``
     (default), ``"mp"``, or a :class:`~repro.runtime.base.Backend`
     instance; extra ``kwargs`` flow to the algorithm's entry point.
-    Returns the entry point's result object (``CCResult`` /
-    ``ApproxMinCutResult`` / ``MinCutResult``), whose ``time`` is analytic
-    under ``sim`` and measured wall-clock under ``mp``.
+    ``tracer`` attaches a :class:`~repro.trace.tracer.Tracer` (e.g. a
+    ``RecordingTracer``) to a fresh backend of the requested kind; the
+    result object then carries the run's per-superstep trace.  Returns
+    the entry point's result object (``CCResult`` / ``ApproxMinCutResult``
+    / ``MinCutResult``), whose ``time`` is analytic under ``sim`` and
+    measured wall-clock under ``mp``.
     """
     # Imported here: repro.core pulls in scipy-heavy modules at load time.
     from repro.core import (
@@ -55,6 +58,10 @@ def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
             f"unknown algorithm {algorithm!r}; expected one of "
             f"{sorted(dispatch)}"
         ) from None
+    if tracer is not None:
+        from repro.runtime.base import resolve_backend
+
+        backend = resolve_backend(backend, tracer=tracer)
     return fn(g, p=p, seed=seed, backend=backend, **kwargs)
 
 def median_ci(values: list[float], confidence: float = 0.95) -> tuple[float, float]:

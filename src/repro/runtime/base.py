@@ -16,9 +16,12 @@ keeps the legacy ``engine=`` escape hatch working.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from repro.bsp.engine import Engine, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.tracer import Tracer
 
 __all__ = ["Backend", "resolve_backend", "available_backends"]
 
@@ -62,13 +65,17 @@ def resolve_backend(
     backend: "str | Backend | None" = None,
     *,
     engine: Engine | None = None,
+    tracer: "Tracer | None" = None,
 ) -> Backend:
     """Resolve a backend spec (name, instance or ``None``) to an instance.
 
     ``engine`` is the legacy simulator escape hatch used throughout the
     benchmarks (traced engines, custom cache geometry); it is only
     meaningful for the simulator, so combining it with any non-sim spec is
-    an error rather than a silent ignore.
+    an error rather than a silent ignore.  ``tracer`` attaches a collective
+    tracer to a freshly constructed backend (either name); an already
+    constructed instance carries its own tracer, so combining the two is
+    likewise an error.
     """
     from repro.runtime.sim import SimBackend
 
@@ -78,16 +85,24 @@ def resolve_backend(
                 "pass either backend= or engine=, not both "
                 "(engine= configures the simulator only)"
             )
+        if tracer is not None:
+            raise ValueError(
+                "a backend instance carries its own tracer; pass tracer= "
+                "only with a backend name (or None)"
+            )
         return backend
     if backend is None or backend == "sim":
-        return SimBackend(engine=engine)
+        if engine is not None and tracer is not None:
+            raise ValueError("pass either engine= or tracer=, not both")
+        return SimBackend(engine=engine, tracer=tracer)
     if engine is not None:
         raise ValueError(
             f"engine= applies to the sim backend only, not {backend!r}"
         )
     registry = available_backends()
     if isinstance(backend, str) and backend in registry:
-        return registry[backend]()
+        cls = registry[backend]
+        return cls(tracer=tracer) if tracer is not None else cls()
     raise ValueError(
         f"unknown backend {backend!r}; available: {sorted(registry)}"
     )

@@ -33,9 +33,10 @@ from __future__ import annotations
 import multiprocessing
 import operator as _operator
 from multiprocessing.connection import wait as _conn_wait
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable
 
-from repro.bsp.comm import CollectiveOp
+from repro.bsp.comm import CollectiveOp, payload_words
 from repro.bsp.counters import CountersReport, ProcCounters
 from repro.bsp.engine import Engine, RunResult
 from repro.bsp.errors import CollectiveMismatchError, DeadlockError
@@ -47,6 +48,7 @@ from repro.runtime.errors import (
     WorkerProgramError,
     WorkerTimeoutError,
 )
+from repro.trace.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.runtime.transport import (
     DEFAULT_SHM_THRESHOLD,
     collect_shm_names,
@@ -143,6 +145,15 @@ class MpBackend(Backend):
         disables the bound (not recommended).
     shm_threshold:
         Minimum payload-array size in bytes for the shared-memory path.
+    trace / tracer:
+        Per-superstep collective tracing, mirroring the simulator's:
+        ``trace=True`` records into a default
+        :class:`~repro.trace.tracer.RecordingTracer`, or pass an explicit
+        tracer.  Workers then ship their since-sync counter snapshots
+        with every collective request, and the coordinator emits events
+        bit-identical to the simulator's for the same seed (only the
+        measured ``wall_s`` differs).  Off by default: untraced runs use
+        exactly the pre-trace wire protocol.
     """
 
     name = "mp"
@@ -154,9 +165,19 @@ class MpBackend(Backend):
         start_method: str | None = None,
         timeout: float | None = DEFAULT_TIMEOUT_S,
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        trace: bool = False,
+        tracer: Tracer | None = None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive or None, got {timeout}")
+        if trace and tracer is not None:
+            raise ValueError(
+                "pass either trace=True (a default RecordingTracer) or an "
+                "explicit tracer, not both"
+            )
+        self.tracer = tracer if tracer is not None else (
+            RecordingTracer() if trace else NULL_TRACER
+        )
         self.cache = cache or CacheParams()
         self.start_method = start_method or default_start_method()
         if self.start_method not in multiprocessing.get_all_start_methods():
@@ -199,6 +220,7 @@ class MpBackend(Backend):
                 rank=rank, p=p, world_gid=world.gid, seed=seed,
                 cache=self.cache, program=program, args=args, kwargs=kwargs,
                 shm_threshold=self.shm_threshold,
+                trace=self.tracer.enabled,
             )
 
         pool = _Pool(ctx, p, spec_for)
@@ -219,7 +241,11 @@ class MpBackend(Backend):
         return WorkerCrashError(rank, proc.exitcode)
 
     def _coordinate(self, engine: Engine, pool: _Pool, p: int) -> RunResult:
-        pending: dict[int, tuple[CollectiveOp, float]] = {}
+        tracer = self.tracer
+        events_before = len(tracer)
+        last_event_t = [perf_counter()]  # wall clock between collectives
+        # pending: rank -> (op, since_sync, pre-request counter snapshot)
+        pending: dict[int, tuple[CollectiveOp, float, tuple | None]] = {}
         finished: set[int] = set()
         values: list[Any] = [None] * p
         counters: list[ProcCounters | None] = [None] * p
@@ -233,14 +259,15 @@ class MpBackend(Backend):
             tag, rank = msg[0], msg[1]
             reply_refs[rank].clear()  # previous reply was consumed
             if tag == MSG_OP:
-                _, _, op, since_sync = msg
+                op, since_sync = msg[2], msg[3]
+                snap = msg[4] if len(msg) > 4 else None  # tracing only
                 op = CollectiveOp(
                     group=op.group, kind=op.kind, sender=op.sender,
                     local_rank=op.local_rank,
                     payload=decode_payload(op.payload),
                     root=op.root, op=op.op,
                 )
-                pending[rank] = (op, float(since_sync))
+                pending[rank] = (op, float(since_sync), snap)
             elif tag == MSG_DONE:
                 _, _, value, procs_counters, app, mpi = msg
                 values[rank] = decode_payload(value)
@@ -256,7 +283,7 @@ class MpBackend(Backend):
 
         def execute_ready() -> None:
             by_gid: dict[int, list[int]] = {}
-            for rank, (op, _s) in pending.items():
+            for rank, (op, _s, _snap) in pending.items():
                 by_gid.setdefault(op.group.gid, []).append(rank)
             for gid in sorted(by_gid):
                 ranks = by_gid[gid]
@@ -301,19 +328,41 @@ class MpBackend(Backend):
                 results = handler(group, ops, scratch, None)
                 since = {r: pending[r][1] for r in ranks}
                 slowest = max(since.values())
+                posts = [] if tracer.enabled else None
                 for op, res in zip(ops, results):
                     m = op.sender
                     wire = encode_payload(res, self.shm_threshold)
                     reply_refs[m] = collect_shm_names(wire)
                     sc = scratch[m]
+                    wait_delta = slowest - since[m]
+                    if posts is not None:
+                        # Replicate the worker's post-collective counters
+                        # from its pre-request snapshot, using the same
+                        # single-addition-per-field arithmetic the worker
+                        # applies, so the recorded snapshot is bit-equal
+                        # to both the worker's and the simulator's state.
+                        ops0, sent0, recv0, misses0, wait0, ss0 = pending[m][2]
+                        posts.append((
+                            ops0 + sc.ops, sent0 + sc.words_sent,
+                            recv0 + sc.words_recv, misses0 + sc.misses,
+                            wait0 + wait_delta, ss0 + 1,
+                        ))
                     try:
                         pool.conns[m].send((
-                            REPLY_RESULT, wire, slowest - since[m],
+                            REPLY_RESULT, wire, wait_delta,
                             sc.ops, sc.words_sent, sc.words_recv, sc.misses,
                         ))
                     except (BrokenPipeError, OSError):
                         raise self._crash(pool, m) from None
                     del pending[m]
+                if posts is not None:
+                    now = perf_counter()
+                    tracer.on_collective(
+                        kind=kind, gid=gid, participants=group.members,
+                        words=sum(payload_words(op.payload) for op in ops),
+                        snapshots=posts, wall_s=now - last_event_t[0],
+                    )
+                    last_event_t[0] = now
 
         try:
             self._event_loop(engine, pool, p, pending, finished, handle,
@@ -326,11 +375,16 @@ class MpBackend(Backend):
             )
 
         report = CountersReport.from_procs(list(counters))
+        trace = None
+        if tracer.enabled:
+            tracer.on_finish([c.snapshot() for c in counters],
+                             wall_s=perf_counter() - last_event_t[0])
+            trace = tracer.events()[events_before:]
         return RunResult(
             values=values,
             report=report,
             time=TimeEstimate(app_s=max(app_s), mpi_s=max(mpi_s)),
-            trace=None,
+            trace=trace,
         )
 
     def _event_loop(self, engine, pool, p, pending, finished, handle,

@@ -2,9 +2,8 @@
 
 A thin :class:`Backend` adapter over :class:`repro.bsp.engine.Engine` —
 semantics, counters and the analytic §5.3 time estimate are exactly the
-engine's.  This is the default backend, the correctness/cost oracle the
-differential harness holds the real runtimes against, and the only backend
-that supports collective tracing.
+engine's.  This is the default backend and the correctness/cost oracle
+the differential harness holds the real runtimes against.
 """
 
 from __future__ import annotations
@@ -15,6 +14,7 @@ from repro.bsp.engine import Engine, RunResult
 from repro.bsp.machine import MachineModel
 from repro.cache.model import CacheParams
 from repro.runtime.base import Backend
+from repro.trace.tracer import Tracer
 
 __all__ = ["SimBackend"]
 
@@ -31,13 +31,16 @@ class SimBackend(Backend):
         cache: CacheParams | None = None,
         machine: MachineModel | None = None,
         trace: bool = False,
+        tracer: Tracer | None = None,
     ):
         if engine is not None and (cache is not None or machine is not None
-                                   or trace):
+                                   or trace or tracer is not None):
             raise ValueError(
-                "pass either a ready engine or cache/machine/trace, not both"
+                "pass either a ready engine or cache/machine/trace/tracer, "
+                "not both"
             )
-        self.engine = engine or Engine(cache=cache, machine=machine, trace=trace)
+        self.engine = engine or Engine(cache=cache, machine=machine,
+                                       trace=trace, tracer=tracer)
 
     def run(
         self,

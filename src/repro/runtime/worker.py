@@ -61,6 +61,11 @@ class WorkerSpec:
     args: tuple
     kwargs: dict
     shm_threshold: int
+    #: When True, every collective request additionally carries this
+    #: rank's cumulative pre-request counter snapshot so the coordinator
+    #: can emit per-superstep trace events.  Off by default: untraced
+    #: runs put exactly the pre-trace message tuples on the wire.
+    trace: bool = False
 
 
 def _drive(conn, spec: WorkerSpec) -> None:
@@ -106,7 +111,11 @@ def _drive(conn, spec: WorkerSpec) -> None:
         since_sync = counters.ops - counters.ops_at_last_sync
         t1 = perf_counter()
         wire = replace(op, payload=encode_payload(op.payload, spec.shm_threshold))
-        conn.send((MSG_OP, spec.rank, wire, since_sync))
+        if spec.trace:
+            conn.send((MSG_OP, spec.rank, wire, since_sync,
+                       counters.snapshot()))
+        else:
+            conn.send((MSG_OP, spec.rank, wire, since_sync))
         msg = conn.recv()
         mpi_s += perf_counter() - t1
 

@@ -1,0 +1,61 @@
+"""Per-superstep trace/metrics layer for the BSP execution backends.
+
+The paper's evaluation (§5) attributes cost to individual supersteps —
+max local computation, h-relation volume, cache misses, imbalance wait
+("time spent in MPI") — while the run-level
+:class:`~repro.bsp.counters.CountersReport` only exposes end-of-run
+totals.  This package records the missing structure: one
+:class:`TraceEvent` per executed collective per group, streamed from
+either backend through a zero-overhead-when-off :class:`Tracer` hook
+(:class:`NullTracer` default keeps untraced runs byte-identical).
+
+The cornerstone invariant, enforced with zero tolerance by the test
+suite::
+
+    aggregate_trace(result.trace) == result.report
+
+Traces are bit-identical across the simulator and the multiprocess
+backend for a fixed seed (events are ordered by a scheduler-independent
+Lamport clock; only the measured ``wall_s`` field differs), and
+round-trip losslessly through the ``--trace PATH`` JSON-lines file.
+"""
+
+from repro.trace.events import FINAL, TraceEvent, exact_delta
+from repro.trace.io import (
+    event_from_dict,
+    event_to_dict,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.trace.report import (
+    aggregate_trace,
+    format_summary,
+    heaviest_events,
+    kind_counts,
+    volume_histogram,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+)
+
+__all__ = [
+    "TraceEvent",
+    "FINAL",
+    "exact_delta",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "aggregate_trace",
+    "kind_counts",
+    "volume_histogram",
+    "heaviest_events",
+    "format_summary",
+    "event_to_dict",
+    "event_from_dict",
+    "write_jsonl",
+    "read_jsonl",
+]

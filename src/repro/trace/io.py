@@ -1,0 +1,83 @@
+"""JSON-lines serialization of trace event streams.
+
+One JSON object per line, one line per :class:`TraceEvent`, in canonical
+order — the format ``repro.cli --trace PATH`` writes.  Floats are emitted
+with Python's shortest-round-trip ``repr``, so a decode/encode cycle is
+lossless and the ``aggregate(trace) == counters`` invariant survives the
+file round-trip bit-exactly (covered by the trace test suite).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+from repro.trace.events import TraceEvent
+
+__all__ = ["event_to_dict", "event_from_dict", "write_jsonl", "read_jsonl"]
+
+_FLOAT_TUPLES = ("d_ops", "d_sent", "d_recv", "d_misses", "d_wait")
+
+
+def event_to_dict(ev: TraceEvent) -> dict:
+    """Plain-JSON-types dict of one event (inverse of event_from_dict)."""
+    return {
+        "step": ev.step,
+        "kind": ev.kind,
+        "gid": ev.gid,
+        "gseq": ev.gseq,
+        "participants": list(ev.participants),
+        "words": ev.words,
+        "supersteps": list(ev.supersteps),
+        "d_ops": list(ev.d_ops),
+        "d_sent": list(ev.d_sent),
+        "d_recv": list(ev.d_recv),
+        "d_misses": list(ev.d_misses),
+        "d_wait": list(ev.d_wait),
+        "wall_s": ev.wall_s,
+    }
+
+
+def event_from_dict(d: dict) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its JSON object."""
+    return TraceEvent(
+        kind=str(d["kind"]),
+        gid=int(d["gid"]),
+        participants=tuple(int(r) for r in d["participants"]),
+        words=int(d["words"]),
+        step=int(d.get("step", 0)),
+        gseq=int(d.get("gseq", 0)),
+        supersteps=tuple(int(s) for s in d.get("supersteps", ())),
+        **{f: tuple(float(x) for x in d.get(f, ()))
+           for f in _FLOAT_TUPLES},
+        wall_s=float(d.get("wall_s", 0.0)),
+    )
+
+
+def write_jsonl(events: Sequence[TraceEvent], path_or_file) -> int:
+    """Write events as JSON-lines (canonical order); returns the count."""
+    events = sorted(events, key=TraceEvent.order_key)
+    if hasattr(path_or_file, "write"):
+        return _write(events, path_or_file)
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        return _write(events, fh)
+
+
+def _write(events: Iterable[TraceEvent], fh: IO[str]) -> int:
+    n = 0
+    for ev in events:
+        fh.write(json.dumps(event_to_dict(ev), separators=(",", ":")))
+        fh.write("\n")
+        n += 1
+    return n
+
+
+def read_jsonl(path_or_file) -> list[TraceEvent]:
+    """Read a JSON-lines trace file back into events (blank lines skipped)."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    return [event_from_dict(json.loads(line))
+            for line in lines if line.strip()]

@@ -129,6 +129,72 @@ class TestValidation:
                      "--trial-scale", "0.01", "--success-prob", "0.5"]) == 0
 
 
+class TestTraceOption:
+    def test_writes_valid_jsonl(self, graph_file, tmp_path, capsys):
+        from repro.trace import aggregate_trace, read_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        rc = main(["parallel_cc", str(graph_file), "--procs", "3",
+                   "--seed", "2", "--trace", str(out)])
+        assert rc == 0
+        events = read_jsonl(out)
+        assert len(events) >= 2
+        assert events[-1].kind == "final"
+        assert aggregate_trace(events).p == 3
+
+    def test_summary_table_renders(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main(["parallel_cc", str(graph_file), "--trace", str(out)])
+        printed = capsys.readouterr().out
+        assert "trace summary" in printed
+        assert "collectives:" in printed
+        assert "volume histogram" in printed
+        assert "heaviest supersteps" in printed
+        assert f"-> {out}" in printed
+
+    @pytest.mark.parametrize("command,extra", [
+        ("approx_cut", []),
+        ("square_root", ["--trials", "2"]),
+    ])
+    def test_all_algorithm_subcommands(self, graph_file, tmp_path, capsys,
+                                       command, extra):
+        from repro.trace import read_jsonl
+
+        out = tmp_path / f"{command}.jsonl"
+        rc = main([command, str(graph_file), "-p", "2", "--seed", "1",
+                   "--trace", str(out)] + extra)
+        assert rc == 0
+        assert len(read_jsonl(out)) >= 2
+
+    def test_unwritable_path_is_usage_error(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["parallel_cc", str(graph_file),
+                  "--trace", "/nonexistent/dir/t.jsonl"])
+        assert exc.value.code == 2
+        assert "--trace directory" in capsys.readouterr().err
+
+    def test_no_trace_no_summary(self, graph_file, capsys):
+        main(["parallel_cc", str(graph_file)])
+        printed = capsys.readouterr().out
+        assert "trace summary" not in printed
+        assert len(printed.strip().splitlines()) == 1
+
+    def test_mp_backend_trace(self, graph_file, tmp_path, capsys):
+        require_mp()
+        from repro.trace import read_jsonl
+
+        sim_out = tmp_path / "sim.jsonl"
+        mp_out = tmp_path / "mp.jsonl"
+        main(["parallel_cc", str(graph_file), "--seed", "4",
+              "--backend", "sim", "--trace", str(sim_out)])
+        main(["parallel_cc", str(graph_file), "--seed", "4",
+              "--backend", "mp", "--trace", str(mp_out)])
+        import dataclasses
+
+        strip = lambda evs: [dataclasses.replace(e, wall_s=0.0) for e in evs]
+        assert strip(read_jsonl(sim_out)) == strip(read_jsonl(mp_out))
+
+
 class TestBackendOption:
     def test_unknown_backend_rejected(self, graph_file):
         with pytest.raises(SystemExit) as exc:
