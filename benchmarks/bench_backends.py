@@ -6,7 +6,10 @@ emits a machine-readable record to ``results/BENCH_runtime.json``:
 
 * per (algorithm, p): wall-clock seconds of each backend, the mp
   backend's measured app/MPI split, the sim backend's analytic estimate,
-  the mp-over-sim wall-clock speedup, and a result-parity flag;
+  the mp-over-sim wall-clock speedup, a result-parity flag, and the mp
+  transport's per-collective-kind stats (messages, pickle bytes,
+  shared-memory segments created vs reused, bytes copied, arena
+  high-water mark);
 * metadata: CPU count and affinity, multiprocessing start method, Python
   version — the context needed to interpret the speedups.  Real speedup
   > 1 requires real cores: on a single-CPU container the mp backend adds
@@ -54,20 +57,27 @@ def _result_key(algorithm: str, res):
 
 
 def _run_timed(algorithm: str, g, p: int, seed: int, backend: str):
+    """Returns (result, wall_s, transport_stats_or_None)."""
+    from repro.runtime import MpBackend
+
     kwargs = {"trials": SQUARE_ROOT_TRIALS} if algorithm == "square_root" else {}
+    # Instantiate the mp backend ourselves so its per-kind transport
+    # stats survive the run and can be folded into the record.
+    be = MpBackend() if backend == "mp" else backend
     t0 = time.perf_counter()
-    res = run_algorithm(algorithm, g, p=p, seed=seed, backend=backend,
-                        **kwargs)
+    res = run_algorithm(algorithm, g, p=p, seed=seed, backend=be, **kwargs)
     wall = time.perf_counter() - t0
-    return res, wall
+    stats = be.last_transport_stats if isinstance(be, MpBackend) else None
+    return res, wall, stats
 
 
 def run_suite(g, procs, seed):
     rows = []
     for algorithm in ALGORITHMS:
         for p in procs:
-            sim_res, sim_wall = _run_timed(algorithm, g, p, seed, "sim")
-            mp_res, mp_wall = _run_timed(algorithm, g, p, seed, "mp")
+            sim_res, sim_wall, _ = _run_timed(algorithm, g, p, seed, "sim")
+            mp_res, mp_wall, mp_transport = _run_timed(
+                algorithm, g, p, seed, "mp")
             row = {
                 "algorithm": algorithm,
                 "p": p,
@@ -81,6 +91,10 @@ def run_suite(g, procs, seed):
                 "results_match": _result_key(algorithm, sim_res)
                 == _result_key(algorithm, mp_res),
                 "counters_match": sim_res.report == mp_res.report,
+                #: Per-collective-kind mp transport stats: messages,
+                #: pickle bytes, segments created/reused, bytes copied,
+                #: plus the arena high-water mark for this run.
+                "mp_transport": mp_transport,
             }
             rows.append(row)
             print(
@@ -99,6 +113,23 @@ def summarize(rows):
             row["speedup_mp_over_sim"], 4
         )
     return out
+
+
+def transport_totals(rows):
+    """Per-kind transport stats summed over every mp run in the sweep."""
+    kinds: dict[str, dict[str, int]] = {}
+    high_water = 0
+    for row in rows:
+        stats = row.get("mp_transport")
+        if not stats:
+            continue
+        for kind, bucket in stats["per_kind"].items():
+            mine = kinds.setdefault(kind, dict.fromkeys(bucket, 0))
+            for field, v in bucket.items():
+                mine[field] += v
+        high_water = max(high_water, stats["high_water_bytes"])
+    return {"per_kind": dict(sorted(kinds.items())),
+            "max_high_water_bytes": high_water}
 
 
 def main(argv=None) -> int:
@@ -130,6 +161,7 @@ def main(argv=None) -> int:
         "square_root_trials": SQUARE_ROOT_TRIALS,
         "rows": rows,
         "speedup_mp_over_sim": summarize(rows),
+        "transport_totals": transport_totals(rows),
         "all_results_match": all(r["results_match"] for r in rows),
         "all_counters_match": all(r["counters_match"] for r in rows),
         "metadata": {

@@ -1,0 +1,169 @@
+"""Transport benchmark: pooled shared-memory arena vs legacy one-shot codec.
+
+Runs three mp workloads at p=2 under both payload codecs
+(``MpBackend(use_arena=True)`` — the pooled, size-classed slab arena —
+and ``use_arena=False`` — one fresh segment per large array) and writes
+``results/BENCH_transport.json``:
+
+* ``cc``: connected components on a sparse random graph — shrinking
+  gatherv/bcast payloads, the shape the arena's best-fit recycling is
+  built for;
+* ``eager_step``: ``minimum_cut(..., trials=1)`` — the paper's eager
+  superstep: allgatherv of edges, alltoallv matrix distribution,
+  gatherv of dense blocks;
+* ``steady_state``: constant-size multi-column alltoallv+allgatherv
+  rounds — the amortized-O(1) segment-syscall case.
+
+Per workload the record holds both codecs' wall-clock (min over
+repeats), per-kind transport stats, the segment-allocation reduction
+ratio, and a result-parity flag.  The deterministic fields (segment
+counts, parity) are gated by :mod:`benchmarks.perf_gate`; wall-clock is
+recorded, not gated — IPC timing is machine noise territory.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_transport
+    PYTHONPATH=src python -m benchmarks.bench_transport --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Acceptance bar: the arena must allocate at least this factor fewer
+#: segments than the legacy codec on every workload.
+ALLOC_REDUCTION_FLOOR = 2.0
+
+
+def steady_state_program(ctx, n, rounds):
+    """Constant-size multi-column collectives, ``rounds`` times over."""
+    total = 0.0
+    size = ctx.comm.size
+    for _ in range(rounds):
+        u = np.arange(n, dtype=np.int64) + ctx.rank
+        w = np.ones(n)
+        parcels = [(u[j::size], w[j::size]) for j in range(size)]
+        ex = yield from ctx.comm.alltoallv(parcels)
+        ag = yield from ctx.comm.allgatherv(u, w)
+        total += float(ex[1].sum()) + float(ag[0].sum())
+    return total
+
+
+def _workloads(scale: float, seed: int):
+    """name -> (shm_threshold, runner); runner(backend) -> fingerprint."""
+    from repro.core.components import connected_components
+    from repro.core.mincut import minimum_cut
+    from repro.graph import erdos_renyi
+    from repro.rng import philox_stream
+
+    n_cc = max(1000, int(30_000 * scale))
+    g_cc = erdos_renyi(n_cc, 4 * n_cc, philox_stream(seed + 7))
+    n_mc = max(96, int(768 * scale))
+    g_mc = erdos_renyi(n_mc, max(n_mc + 1, int(8000 * scale)),
+                       philox_stream(seed + 11), weighted=True)
+
+    def run_cc(backend):
+        r = connected_components(g_cc, p=2, seed=seed + 3, backend=backend)
+        return (int(r.n_components), int(r.labels.sum()))
+
+    def run_eager(backend):
+        r = minimum_cut(g_mc, p=2, seed=seed + 5, trials=1, backend=backend)
+        return (float(r.value), int(r.side.sum()))
+
+    def run_steady(backend):
+        r = backend.run(steady_state_program, 2, seed=seed,
+                        args=(max(2000, int(20_000 * scale)), 6))
+        return tuple(r.values)
+
+    return {
+        "cc": (1 << 12, run_cc),
+        "eager_step": (1 << 14, run_eager),
+        "steady_state": (1 << 12, run_steady),
+    }
+
+
+def _measure(runner, threshold: int, use_arena: bool, repeats: int):
+    from repro.runtime.mp import MpBackend
+
+    walls, fingerprint, stats = [], None, None
+    for _ in range(repeats):
+        backend = MpBackend(timeout=180.0, shm_threshold=threshold,
+                            use_arena=use_arena)
+        t0 = time.perf_counter()
+        fingerprint = runner(backend)
+        walls.append(time.perf_counter() - t0)
+        stats = backend.last_transport_stats
+    return {"wall_s": min(walls), "stats": stats}, fingerprint
+
+
+def run_benchmarks(scale: float = 1.0, seed: int = 0,
+                   repeats: int = 3) -> dict:
+    out = {}
+    for name, (threshold, runner) in _workloads(scale, seed).items():
+        pooled, fp_pooled = _measure(runner, threshold, True, repeats)
+        legacy, fp_legacy = _measure(runner, threshold, False, repeats)
+        created_p = pooled["stats"]["total"]["segments_created"]
+        created_l = legacy["stats"]["total"]["segments_created"]
+        out[name] = {
+            "shm_threshold": threshold,
+            "pooled": pooled,
+            "legacy": legacy,
+            "alloc_reduction": created_l / max(created_p, 1),
+            "wall_ratio_legacy_over_pooled":
+                legacy["wall_s"] / pooled["wall_s"],
+            "results_match": fp_pooled == fp_legacy,
+        }
+        print(f"{name:>14}: segments {created_l} -> {created_p} "
+              f"({out[name]['alloc_reduction']:.1f}x fewer), wall "
+              f"{legacy['wall_s']:.3f}s -> {pooled['wall_s']:.3f}s "
+              f"({out[name]['wall_ratio_legacy_over_pooled']:.2f}x), "
+              f"parity={'ok' if out[name]['results_match'] else 'MISMATCH'}")
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="workload size multiplier (default 1.0)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="wall-clock repeats; min is recorded (default 3)")
+    ap.add_argument("--out", default=str(RESULTS_DIR / "BENCH_transport.json"))
+    args = ap.parse_args(argv)
+
+    results = run_benchmarks(scale=args.scale, seed=args.seed,
+                             repeats=args.repeats)
+    record = {
+        "benchmark": "transport_arena_vs_legacy",
+        "p": 2,
+        "workloads": results,
+        "meta": {"scale": args.scale, "seed": args.seed,
+                 "repeats": args.repeats},
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+    bad = [n for n, r in results.items() if not r["results_match"]]
+    if bad:
+        print(f"ERROR: codec results diverged: {bad}", file=sys.stderr)
+        return 1
+    under = [n for n, r in results.items()
+             if r["alloc_reduction"] < ALLOC_REDUCTION_FLOOR]
+    if under:
+        print(f"ERROR: allocation reduction under "
+              f"{ALLOC_REDUCTION_FLOOR:g}x: {under}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

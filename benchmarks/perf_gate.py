@@ -14,6 +14,13 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   ``slack x baseline`` (default 2.0, override with ``PERF_GATE_SLACK``),
   and each speedup ratio must stay above its floor — 10x for the
   contraction kernel (the acceptance bar), 1.2x elsewhere.
+* **Transport fingerprints** — the mp backend's shared-memory segment
+  allocation counts on the :mod:`benchmarks.bench_transport` workloads.
+  Segment counts are deterministic (payload sizes are seed-fixed), so
+  they are checked *exactly*, plus two floors: the pooled arena must
+  allocate at least 2x fewer segments than the legacy codec, and both
+  codecs must produce identical results.  Wall-clock is recorded by the
+  benchmark but never gated.
 
 Usage::
 
@@ -33,6 +40,8 @@ import sys
 from pathlib import Path
 
 from bench_kernels import run_benchmarks
+from bench_transport import ALLOC_REDUCTION_FLOOR
+from bench_transport import run_benchmarks as run_transport_benchmarks
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 BASELINE_PATH = RESULTS_DIR / "perf_baseline.json"
@@ -85,11 +94,27 @@ def counter_fingerprints() -> dict:
     return out
 
 
+def transport_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
+    """Deterministic transport-gate fields per bench_transport workload."""
+    results = run_transport_benchmarks(scale=scale, seed=seed, repeats=1)
+    return {
+        name: {
+            "pooled_segments_created":
+                r["pooled"]["stats"]["total"]["segments_created"],
+            "legacy_segments_created":
+                r["legacy"]["stats"]["total"]["segments_created"],
+            "results_match": r["results_match"],
+        }
+        for name, r in results.items()
+    }
+
+
 def measure(scale: float = 1.0, seed: int = 0) -> dict:
-    """Run both baseline sections and return the combined record."""
+    """Run all baseline sections and return the combined record."""
     return {
         "counters": counter_fingerprints(),
         "timings": run_benchmarks(scale=scale, seed=seed),
+        "transport": transport_fingerprints(scale=scale, seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -144,6 +169,37 @@ def _check_timings(base: dict, now: dict, slack: float,
     return ok
 
 
+def _check_transport(base: dict | None, now: dict, lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  transport: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    for wl in sorted(base):
+        b, n = base[wl], now.get(wl)
+        if n is None:
+            ok = False
+            lines.append(f"  transport[{wl}]: missing from current run")
+            continue
+        for key in ("pooled_segments_created", "legacy_segments_created"):
+            if b[key] != n[key]:
+                ok = False
+                lines.append(f"  transport[{wl}].{key}: "
+                             f"baseline={b[key]} current={n[key]}")
+        if not n["results_match"]:
+            ok = False
+            lines.append(f"  transport[{wl}]: pooled and legacy codecs "
+                         f"produced different results")
+        reduction = n["legacy_segments_created"] / max(
+            n["pooled_segments_created"], 1)
+        if reduction < ALLOC_REDUCTION_FLOOR:
+            ok = False
+            lines.append(
+                f"  transport[{wl}]: allocation reduction {reduction:.1f}x "
+                f"is under the {ALLOC_REDUCTION_FLOOR:g}x floor")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -154,11 +210,18 @@ def check(scale: float, seed: int, slack: float) -> int:
     lines: list[str] = []
     counters_ok = _diff_counters(base["counters"], now["counters"], lines)
     timings_ok = _check_timings(base["timings"], now["timings"], slack, lines)
-    if counters_ok and timings_ok:
+    transport_ok = _check_transport(base.get("transport"), now["transport"],
+                                    lines)
+    if counters_ok and timings_ok and transport_ok:
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
+        segs = ", ".join(
+            f"{k}={v['legacy_segments_created']}->"
+            f"{v['pooled_segments_created']}"
+            for k, v in sorted(now["transport"].items()))
         print(f"perf_gate: OK — counters exact, timings within "
-              f"{slack:g}x slack ({speeds})")
+              f"{slack:g}x slack ({speeds}), transport segments exact "
+              f"({segs})")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

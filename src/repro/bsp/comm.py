@@ -25,6 +25,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.bsp.arrays import ArrayBundle, as_bundle
+
 __all__ = ["Group", "Communicator", "payload_words"]
 
 
@@ -42,6 +44,8 @@ def payload_words(x: Any) -> int:
     tx = type(x)
     if tx is np.ndarray:
         return int(x.size)
+    if tx is ArrayBundle:
+        return x.__bsp_words__()
     if tx is tuple or tx is list:
         total = 0
         for item in x:
@@ -165,6 +169,100 @@ class Communicator:
         if len(values) != self.size:
             raise ValueError("alltoall needs exactly one value per member")
         result = yield self._op("alltoall", list(values))
+        return result
+
+    # -- typed array collectives -------------------------------------------
+    #
+    # The *v operations move numpy columns as ArrayBundles: aligned typed
+    # buffers with per-member row counts as uncharged metadata.  They are
+    # drop-in replacements for the gather/allgather/scatter/alltoall of
+    # tuples-of-arrays — identical communication charges and bit-identical
+    # values — but the engine concatenates/splits column-wise, and the mp
+    # transport moves each payload as one contiguous (counts, dtype,
+    # flat-buffer) triple per column instead of pickled object parts.
+
+    def gatherv(self, *columns, root: int = 0):
+        """Typed gather: members' aligned columns, concatenated at the root.
+
+        Each member contributes equal-length columns (or one ready
+        :class:`ArrayBundle`).  The root receives an :class:`ArrayBundle`
+        whose columns are the members' columns concatenated in local-rank
+        order and whose ``counts`` are the per-member row counts; other
+        members receive ``None``.  Charges are identical to
+        ``gather((col0, col1, ...))``.
+        """
+        payload = columns[0] if len(columns) == 1 else ArrayBundle(*columns)
+        result = yield self._op("gatherv", as_bundle(payload), root)
+        return result
+
+    def allgatherv(self, *columns):
+        """Typed allgather: the concatenated bundle at every member.
+
+        Like :meth:`gatherv`, but every member receives the (shared,
+        read-only) concatenated :class:`ArrayBundle`.  Charges are
+        identical to ``allgather((col0, col1, ...))``.
+        """
+        payload = columns[0] if len(columns) == 1 else ArrayBundle(*columns)
+        result = yield self._op("allgatherv", as_bundle(payload))
+        return result
+
+    def scatterv(self, columns=None, counts=None, root: int = 0):
+        """Typed scatter: the root's columns split into per-member row blocks.
+
+        The root provides aligned columns (bundle, array, or tuple of
+        arrays) plus ``counts`` — one non-negative row count per member,
+        summing to the bundle's row count.  Member ``i`` receives the
+        :class:`ArrayBundle` holding rows ``sum(counts[:i]) ..
+        sum(counts[:i+1])``.  Charges are identical to ``scatter`` of the
+        same rows: the root sends every row once, each member receives its
+        own block.
+        """
+        if self.rank == root:
+            if columns is None or counts is None:
+                raise ValueError(
+                    "scatterv root must provide columns and per-member counts"
+                )
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (self.size,):
+                raise ValueError(
+                    f"scatterv needs one count per member, got {counts.shape} "
+                    f"for a size-{self.size} communicator"
+                )
+            bundle = as_bundle(columns)
+            if counts.size and counts.min() < 0:
+                raise ValueError("scatterv counts must be non-negative")
+            if int(counts.sum()) != bundle.nrows:
+                raise ValueError(
+                    f"scatterv counts sum to {int(counts.sum())}, bundle "
+                    f"has {bundle.nrows} rows"
+                )
+            payload = ArrayBundle(*bundle.columns, counts=counts)
+        else:
+            payload = None
+        result = yield self._op("scatterv", payload, root)
+        return result
+
+    def alltoallv(self, parcels: Sequence):
+        """Typed all-to-all: one bundle per destination, concatenated receives.
+
+        ``parcels[j]`` (a bundle, array, or tuple of aligned arrays) is
+        delivered to member ``j``; every member receives an
+        :class:`ArrayBundle` whose columns are the senders' contributions
+        concatenated in local-rank order, with per-sender row counts in
+        ``counts``.  All parcels of one exchange must agree on the column
+        count and dtypes.  Charges are identical to ``alltoall`` of the
+        same tuples-of-arrays.
+        """
+        if len(parcels) != self.size:
+            raise ValueError("alltoallv needs exactly one parcel per member")
+        bundles = [as_bundle(q) for q in parcels]
+        ncols = bundles[0].ncols
+        if any(b.ncols != ncols for b in bundles):
+            raise ValueError(
+                "alltoallv parcels must agree on the column count; got "
+                f"{[b.ncols for b in bundles]}"
+            )
+        result = yield self._op("alltoallv", bundles)
         return result
 
     def split(self, color: int, key: int | None = None):

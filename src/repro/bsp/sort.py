@@ -66,8 +66,8 @@ def distributed_sort(ctx, comm, keys: np.ndarray, payloads: tuple = ()):
         sample = keys[pick]
     else:
         sample = keys[:0]
-    samples = yield from comm.allgather(sample)
-    pool = np.sort(np.concatenate(samples))
+    samples = yield from comm.allgatherv(sample)
+    pool = np.sort(samples[0])
     ctx.charge_sort(pool.size)
     if pool.size == 0:
         # Globally empty input: any splitters work; route all to bucket 0.
@@ -83,14 +83,12 @@ def distributed_sort(ctx, comm, keys: np.ndarray, payloads: tuple = ()):
     key_parts = np.split(keys, cuts)
     payload_parts = [np.split(pl, cuts) for pl in payloads]
     parcels = list(zip(key_parts, *payload_parts))
-    received = yield from comm.alltoall(parcels)
+    received = yield from comm.alltoallv(parcels)
 
     # 4. Local multiway merge (argsort of the concatenation; runs are short).
-    my_keys = np.concatenate([part[0] for part in received])
-    merged_payloads = tuple(
-        np.concatenate([part[1 + j] for part in received])
-        for j in range(len(payloads))
-    )
+    #    alltoallv already concatenated per-sender parcels in rank order.
+    my_keys = received[0]
+    merged_payloads = tuple(received[1 + j] for j in range(len(payloads)))
     order = np.argsort(my_keys, kind="stable")
     my_keys = my_keys[order]
     merged_payloads = tuple(pl[order] for pl in merged_payloads)

@@ -189,9 +189,8 @@ def _redistribute_slices(ctx, comm, local):
     p = comm.size
     parts = local.slices(p)
     parcels = [(s.u, s.v) for s in parts]
-    received = yield from comm.alltoall(parcels)
-    u = np.concatenate([q[0] for q in received])
-    v = np.concatenate([q[1] for q in received])
+    received = yield from comm.alltoallv(parcels)
+    u, v = received
     mine = EdgeList(local.n, u, v, canonical=False, validate=False)
     ctx.charge_scan(u.size, words_per_elem=2)
     # pbgl_cc_program indexes slices[ctx.rank]; a lazy view suffices.

@@ -267,11 +267,14 @@ def edges_to_distributed_matrix(ctx, comm, u, v, w, k):
         ws = np.concatenate([w[sel_u], w[sel_v]])
         parcels.append((rows, cols, ws))
     ctx.charge_scan(u.size, words_per_elem=3)
-    received = yield from comm.alltoall(parcels)
+    received = yield from comm.alltoallv(parcels)
     lo, hi = row_block(comm.rank, q, k)
     block = np.zeros((hi - lo, k), dtype=np.float64)
-    for rows, cols, ws in received:
-        np.add.at(block, (rows - lo, cols), ws)
+    # One unbuffered scatter-add over the senders' concatenated triples:
+    # np.add.at applies updates in element order, so this accumulates the
+    # same floats in the same order as a per-sender loop did.
+    rows, cols, ws = received
+    np.add.at(block, (rows - lo, cols), ws)
     ctx.charge(ops=float(hi - lo) * k, misses=ctx.cache.matrix_scan(hi - lo, k))
     return block
 
@@ -323,9 +326,9 @@ def dense_iterated_sampling(ctx, comm, rows, n, target, *, sigma=_EAGER_SIGMA):
 
 def _gather_matrix(ctx, comm, rows, n):
     """Generator: assemble the distributed matrix at local rank 0."""
-    blocks = yield from comm.gather(rows, root=0)
+    blocks = yield from comm.gatherv(rows, root=0)
     if comm.rank == 0:
-        return np.vstack(blocks)
+        return blocks[0]  # axis-0 concat of 2-D row blocks == vstack
     return None
 
 
@@ -464,10 +467,8 @@ def mincut_program(ctx, slices, n, trials, trial_seed, collect_all=False):
 
     # Replicate the distributed edge array (the paper broadcasts the graph
     # when p <= t and each group needs a full copy when p > t).
-    parts = yield from comm.allgather((g.u, g.v, g.w))
-    fu = np.concatenate([q[0] for q in parts])
-    fv = np.concatenate([q[1] for q in parts])
-    fw = np.concatenate([q[2] for q in parts])
+    parts = yield from comm.allgatherv(g.u, g.v, g.w)
+    fu, fv, fw = parts
     ctx.charge_scan(fu.size, words_per_elem=3)
     if fu.size == 0:
         side = np.zeros(n, dtype=bool)

@@ -78,11 +78,9 @@ def msf_program(ctx, slices, n):
         comps, ws, eids = _local_candidates(u, v, g.w, edge_ids)
         ctx.charge_scan(g.m, words_per_elem=3)
         ctx.charge_sort(comps.size)
-        cands = yield from comm.gather((comps, ws, eids), root=0)
+        cands = yield from comm.gatherv(comps, ws, eids, root=0)
         if ctx.rank == 0:
-            ac = np.concatenate([c[0] for c in cands])
-            aw = np.concatenate([c[1] for c in cands])
-            ae = np.concatenate([c[2] for c in cands])
+            ac, aw, ae = cands
             order = np.lexsort((ae, aw, ac))
             ac, aw, ae = ac[order], aw[order], ae[order]
             first = np.flatnonzero(np.r_[True, ac[1:] != ac[:-1]])
@@ -99,10 +97,9 @@ def msf_program(ctx, slices, n):
         mine = np.isin(edge_ids, winners)
         pairs = (u[mine], v[mine])
         ctx.charge_scan(g.m)
-        all_pairs = yield from comm.gather(pairs, root=0)
+        all_pairs = yield from comm.gatherv(*pairs, root=0)
         if ctx.rank == 0:
-            pu = np.concatenate([q[0] for q in all_pairs])
-            pv = np.concatenate([q[1] for q in all_pairs])
+            pu, pv = all_pairs
             g_map, k_new = components_from_edges(k, pu, pv)
             labels_total = g_map[labels_total]
             ctx.charge_scan(pu.size, words_per_elem=2)

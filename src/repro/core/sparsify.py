@@ -27,12 +27,37 @@ from __future__ import annotations
 
 import math
 import operator
+import weakref
 
 import numpy as np
 
 from repro.rng.sampling import CumulativeWeightSampler, multinomial_split
 
 __all__ = ["sparsify_weighted", "sparsify_unweighted"]
+
+#: Per-slice sampler cache: ``id(w) -> (weakref(w), sampler)``.  Iterated
+#: sampling calls :func:`sparsify_weighted` repeatedly on the *same* weight
+#: slice; rebuilding the sampler repeats a full prefix-sum scan each round.
+#: Identity is the version key: received payloads are read-only by the BSP
+#: contract, and contraction replaces the slice arrays outright, so a cached
+#: entry is valid exactly while its weakref still points at the same object
+#: (a dead ref also catches ``id`` reuse after the old slice is collected).
+_SAMPLER_CACHE: dict[int, tuple] = {}
+_SAMPLER_CACHE_MAX = 64
+
+
+def _cached_sampler(w: np.ndarray) -> CumulativeWeightSampler:
+    key = id(w)
+    entry = _SAMPLER_CACHE.get(key)
+    if entry is not None and entry[0]() is w:
+        return entry[1]
+    sampler = CumulativeWeightSampler(w)
+    if len(_SAMPLER_CACHE) >= _SAMPLER_CACHE_MAX:
+        # Drop the oldest entry (insertion order); bounds memory on runs
+        # that sparsify many distinct slices.
+        _SAMPLER_CACHE.pop(next(iter(_SAMPLER_CACHE)))
+    _SAMPLER_CACHE[key] = (weakref.ref(w), sampler)
+    return sampler
 
 
 def sparsify_weighted(ctx, comm, u, v, w, s, *, root=0):
@@ -57,10 +82,12 @@ def sparsify_weighted(ctx, comm, u, v, w, s, *, root=0):
             raise ValueError("cannot sparsify a graph with zero total weight")
         counts = multinomial_split(ctx.rng, s, weights)
         ctx.charge(ops=s + comm.size)
-        counts = list(counts)
+        counts = np.asarray(counts, dtype=np.int64)
+        ones = np.ones(comm.size, dtype=np.int64)
     else:
-        counts = None
-    my_count = yield from comm.scatter(counts, root=root)
+        counts = ones = None
+    my_count = yield from comm.scatterv(counts, ones, root=root)
+    my_count = int(my_count[0][0])
 
     # (3) local weighted sampling: linear preprocessing, log-time draws.
     if my_count > 0:
@@ -68,20 +95,18 @@ def sparsify_weighted(ctx, comm, u, v, w, s, *, root=0):
             raise AssertionError(
                 "root scheduled samples from an empty slice (weight bookkeeping bug)"
             )
-        sampler = CumulativeWeightSampler(w)
+        sampler = _cached_sampler(w)
         idx = sampler.sample(ctx.rng, int(my_count))
         part = (u[idx], v[idx], w[idx])
         ctx.charge_random(my_count * max(1.0, math.log2(max(m_local, 2))),
                           working_set=m_local)
     else:
         part = (u[:0], v[:0], w[:0])
-    parts = yield from comm.gather(part, root=root)
+    parts = yield from comm.gatherv(*part, root=root)
 
     # (4) root permutes the sample uniformly at random.
     if comm.rank == root:
-        su = np.concatenate([q[0] for q in parts])
-        sv = np.concatenate([q[1] for q in parts])
-        sw = np.concatenate([q[2] for q in parts])
+        su, sv, sw = parts
         perm = ctx.rng.permutation(su.size)
         ctx.charge(
             ops=su.size * max(1.0, math.log2(max(su.size, 2))),
@@ -120,11 +145,10 @@ def sparsify_unweighted(ctx, comm, u, v, s, *, n, delta=0.5, root=0):
         else:
             part = (u, v)  # include every local edge
             ctx.charge_scan(m_local, words_per_elem=2)
-    parts = yield from comm.gather(part, root=root)
+    parts = yield from comm.gatherv(*part, root=root)
 
     if comm.rank == root:
-        su = np.concatenate([q[0] for q in parts])
-        sv = np.concatenate([q[1] for q in parts])
+        su, sv = parts
         ctx.charge_scan(su.size, words_per_elem=2)
         return su, sv
     return None

@@ -30,15 +30,17 @@ re-raising — a failed run never hangs and never leaks processes.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import operator as _operator
 from multiprocessing.connection import wait as _conn_wait
+from multiprocessing.reduction import ForkingPickler
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable
 
 from repro.bsp.comm import CollectiveOp, payload_words
 from repro.bsp.counters import CountersReport, ProcCounters
-from repro.bsp.engine import Engine, RunResult
+from repro.bsp.engine import Engine, ROOTED_KINDS, RunResult
 from repro.bsp.errors import CollectiveMismatchError, DeadlockError
 from repro.bsp.machine import TimeEstimate
 from repro.cache.model import CacheParams
@@ -51,9 +53,10 @@ from repro.runtime.errors import (
 from repro.trace.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.runtime.transport import (
     DEFAULT_SHM_THRESHOLD,
+    Transport,
     collect_shm_names,
+    collect_slab_names,
     decode_payload,
-    encode_payload,
     unlink_segments,
 )
 from repro.runtime.worker import (
@@ -66,6 +69,8 @@ from repro.runtime.worker import (
 )
 
 __all__ = ["MpBackend", "default_start_method"]
+
+logger = logging.getLogger(__name__)
 
 #: Default inactivity timeout (seconds): generous enough for real
 #: benchmark-scale local compute phases, finite so nothing ever hangs.
@@ -89,6 +94,9 @@ class _Pool:
     def __init__(self, ctx, p: int, spec_for: Callable[[int], WorkerSpec]):
         self.conns = []
         self.procs = []
+        #: Every worker-arena slab name the coordinator has seen on the
+        #: wire; swept (and leaks logged) after the workers are gone.
+        self.worker_segments: set[str] = set()
         for rank in range(p):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -111,10 +119,13 @@ class _Pool:
                 while conn.poll():
                     msg = conn.recv()
                     if msg and msg[0] == MSG_OP:
-                        # Decode = attach + copy + unlink: reclaims segments.
-                        decode_payload(msg[2].payload)
+                        # One-shot segments: unlink without copying out.
+                        # Arena slabs: remember the names for the sweep.
+                        unlink_segments(collect_shm_names(msg[2].payload))
+                        self.worker_segments |= collect_slab_names(
+                            msg[2].payload)
                     elif msg and msg[0] == MSG_DONE:
-                        decode_payload(msg[2])
+                        unlink_segments(collect_shm_names(msg[2]))
             except (EOFError, OSError):
                 pass
         for proc in self.procs:
@@ -127,6 +138,15 @@ class _Pool:
                 proc.join(timeout=5.0)
         for conn in self.conns:
             conn.close()
+        # Workers unlink their own arenas on clean exit (before DONE), so
+        # anything still reclaimable here leaked — a worker died or was
+        # terminated mid-run.  Make that visible.
+        leaked = unlink_segments(sorted(self.worker_segments))
+        if leaked:
+            logger.warning(
+                "reclaimed %d leaked worker shm segment(s) at shutdown: %s",
+                len(leaked), ", ".join(leaked),
+            )
 
 
 class MpBackend(Backend):
@@ -144,7 +164,12 @@ class MpBackend(Backend):
         the run is aborted with :class:`WorkerTimeoutError`.  ``None``
         disables the bound (not recommended).
     shm_threshold:
-        Minimum payload-array size in bytes for the shared-memory path.
+        Minimum payload bytes for the shared-memory path (per message in
+        arena mode, per array in legacy mode).
+    use_arena:
+        Pooled slab arena transport (default).  ``False`` selects the
+        legacy one-segment-per-array codec — kept for differential
+        benchmarking of the transport itself.
     trace / tracer:
         Per-superstep collective tracing, mirroring the simulator's:
         ``trace=True`` records into a default
@@ -165,6 +190,7 @@ class MpBackend(Backend):
         start_method: str | None = None,
         timeout: float | None = DEFAULT_TIMEOUT_S,
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        use_arena: bool = True,
         trace: bool = False,
         tracer: Tracer | None = None,
     ):
@@ -187,6 +213,10 @@ class MpBackend(Backend):
             )
         self.timeout = timeout
         self.shm_threshold = int(shm_threshold)
+        self.use_arena = bool(use_arena)
+        #: Per-kind transport stats of the most recent run (coordinator +
+        #: all workers merged), as :meth:`TransportStats.as_dict`.
+        self.last_transport_stats: dict | None = None
 
     # -- main entry ----------------------------------------------------------
 
@@ -221,6 +251,7 @@ class MpBackend(Backend):
                 cache=self.cache, program=program, args=args, kwargs=kwargs,
                 shm_threshold=self.shm_threshold,
                 trace=self.tracer.enabled,
+                use_arena=self.use_arena,
             )
 
         pool = _Pool(ctx, p, spec_for)
@@ -244,6 +275,8 @@ class MpBackend(Backend):
         tracer = self.tracer
         events_before = len(tracer)
         last_event_t = [perf_counter()]  # wall clock between collectives
+        transport = Transport(threshold=self.shm_threshold,
+                              use_arena=self.use_arena)
         # pending: rank -> (op, since_sync, pre-request counter snapshot)
         pending: dict[int, tuple[CollectiveOp, float, tuple | None]] = {}
         finished: set[int] = set()
@@ -251,29 +284,34 @@ class MpBackend(Backend):
         counters: list[ProcCounters | None] = [None] * p
         app_s = [0.0] * p
         mpi_s = [0.0] * p
-        # Reply segments not yet confirmed consumed (rank's next message
-        # confirms); unlinked on teardown if the worker never got there.
+        # Segments backing each rank's outstanding reply: the rank's next
+        # message proves the reply was decoded, releasing the slabs back
+        # to the pool (legacy: the worker already unlinked its one-shots).
         reply_refs: dict[int, list[str]] = {r: [] for r in range(p)}
 
         def handle(msg) -> None:
             tag, rank = msg[0], msg[1]
-            reply_refs[rank].clear()  # previous reply was consumed
+            transport.release(reply_refs[rank])  # previous reply consumed
+            reply_refs[rank].clear()
             if tag == MSG_OP:
                 op, since_sync = msg[2], msg[3]
                 snap = msg[4] if len(msg) > 4 else None  # tracing only
+                pool.worker_segments |= collect_slab_names(op.payload)
                 op = CollectiveOp(
                     group=op.group, kind=op.kind, sender=op.sender,
                     local_rank=op.local_rank,
-                    payload=decode_payload(op.payload),
+                    payload=transport.decode(op.payload),
                     root=op.root, op=op.op,
                 )
                 pending[rank] = (op, float(since_sync), snap)
             elif tag == MSG_DONE:
-                _, _, value, procs_counters, app, mpi = msg
+                value, procs_counters, app, mpi = msg[2:6]
                 values[rank] = decode_payload(value)
                 counters[rank] = procs_counters
                 app_s[rank] = app
                 mpi_s[rank] = mpi
+                if len(msg) > 6:  # the worker's transport stats
+                    transport.stats.merge(msg[6])
                 finished.add(rank)
             elif tag == MSG_ERROR:
                 _, _, exc_type, tb = msg
@@ -309,7 +347,7 @@ class MpBackend(Backend):
                         f"{detail}"
                     )
                 kind = ops[0].kind
-                if kind in ("bcast", "gather", "scatter", "reduce"):
+                if kind in ROOTED_KINDS:
                     roots = {op.root for op in ops}
                     if len(roots) != 1:
                         raise CollectiveMismatchError(
@@ -331,8 +369,7 @@ class MpBackend(Backend):
                 posts = [] if tracer.enabled else None
                 for op, res in zip(ops, results):
                     m = op.sender
-                    wire = encode_payload(res, self.shm_threshold)
-                    reply_refs[m] = collect_shm_names(wire)
+                    wire, reply_refs[m] = transport.encode(res, kind)
                     sc = scratch[m]
                     wait_delta = slowest - since[m]
                     if posts is not None:
@@ -347,11 +384,13 @@ class MpBackend(Backend):
                             recv0 + sc.words_recv, misses0 + sc.misses,
                             wait0 + wait_delta, ss0 + 1,
                         ))
+                    buf = ForkingPickler.dumps((
+                        REPLY_RESULT, wire, wait_delta,
+                        sc.ops, sc.words_sent, sc.words_recv, sc.misses,
+                    ))
+                    transport.note_pickle(kind, len(buf))
                     try:
-                        pool.conns[m].send((
-                            REPLY_RESULT, wire, wait_delta,
-                            sc.ops, sc.words_sent, sc.words_recv, sc.misses,
-                        ))
+                        pool.conns[m].send_bytes(buf)
                     except (BrokenPipeError, OSError):
                         raise self._crash(pool, m) from None
                     del pending[m]
@@ -369,10 +408,14 @@ class MpBackend(Backend):
                              execute_ready)
         finally:
             # Replies a worker never consumed (error teardown) would leak
-            # their segments; reclaim them here (no-op on clean runs).
-            unlink_segments(
-                name for names in reply_refs.values() for name in names
-            )
+            # their segments; reclaim them here (no-op on clean runs: the
+            # arena owns its slabs and close() unlinks them all).
+            if not self.use_arena:
+                unlink_segments(
+                    name for names in reply_refs.values() for name in names
+                )
+            transport.close()
+            self.last_transport_stats = transport.stats.as_dict()
 
         report = CountersReport.from_procs(list(counters))
         trace = None

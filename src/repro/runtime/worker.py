@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import dataclass, replace
+from multiprocessing.reduction import ForkingPickler
 from time import perf_counter
 from typing import Any, Callable, Generator
 
@@ -34,7 +35,7 @@ from repro.bsp.engine import Context
 from repro.bsp.errors import CollectiveMismatchError
 from repro.cache.model import CacheParams
 from repro.rng.streams import RngStreams
-from repro.runtime.transport import decode_payload, encode_payload
+from repro.runtime.transport import Transport, encode_payload
 
 __all__ = ["WorkerSpec", "worker_main", "MSG_OP", "MSG_DONE", "MSG_ERROR",
            "REPLY_RESULT"]
@@ -66,6 +67,9 @@ class WorkerSpec:
     #: can emit per-superstep trace events.  Off by default: untraced
     #: runs put exactly the pre-trace message tuples on the wire.
     trace: bool = False
+    #: Pooled-arena transport (default); False selects the legacy
+    #: one-segment-per-array codec, kept for differential benchmarking.
+    use_arena: bool = True
 
 
 def _drive(conn, spec: WorkerSpec) -> None:
@@ -83,6 +87,8 @@ def _drive(conn, spec: WorkerSpec) -> None:
     gen = gen_value = None
     app_s = mpi_s = 0.0
     inbox = None
+    transport = Transport(threshold=spec.shm_threshold,
+                          use_arena=spec.use_arena)
 
     gen = spec.program(ctx, *spec.args, **spec.kwargs)
     while True:
@@ -110,13 +116,19 @@ def _drive(conn, spec: WorkerSpec) -> None:
         # this rank's previous synchronization (the engine's `since_sync`).
         since_sync = counters.ops - counters.ops_at_last_sync
         t1 = perf_counter()
-        wire = replace(op, payload=encode_payload(op.payload, spec.shm_threshold))
+        wire_payload, slabs = transport.encode(op.payload, op.kind)
+        wire = replace(op, payload=wire_payload)
         if spec.trace:
-            conn.send((MSG_OP, spec.rank, wire, since_sync,
-                       counters.snapshot()))
+            msg = (MSG_OP, spec.rank, wire, since_sync, counters.snapshot())
         else:
-            conn.send((MSG_OP, spec.rank, wire, since_sync))
+            msg = (MSG_OP, spec.rank, wire, since_sync)
+        buf = ForkingPickler.dumps(msg)
+        transport.note_pickle(op.kind, len(buf))
+        conn.send_bytes(buf)
         msg = conn.recv()
+        # The reply proves the coordinator decoded the request (it decodes
+        # on receipt, before the collective runs): the slab is free again.
+        transport.release(slabs)
         mpi_s += perf_counter() - t1
 
         if msg[0] != REPLY_RESULT:  # pragma: no cover - protocol guard
@@ -130,12 +142,17 @@ def _drive(conn, spec: WorkerSpec) -> None:
         counters.supersteps += 1
         counters.charge(ops=extra_ops)
         counters.charge_comm(sent, recv, misses=comm_misses)
-        inbox = decode_payload(payload)
+        inbox = transport.decode(payload)
 
+    # The DONE value rides legacy one-shot segments: this process exits
+    # before the coordinator decodes, so arena slabs (unlinked below, with
+    # the segments they back) cannot carry it.
+    done_value = encode_payload(gen_value, spec.shm_threshold)
+    transport.close()  # unlink own slabs *before* DONE: a clean exit leaves
+    #                    nothing for the coordinator's leak sweep to find
     conn.send((
-        MSG_DONE, spec.rank,
-        encode_payload(gen_value, spec.shm_threshold),
-        counters, app_s, mpi_s,
+        MSG_DONE, spec.rank, done_value,
+        counters, app_s, mpi_s, transport.stats,
     ))
 
 

@@ -298,7 +298,8 @@ class TestEngineTrace:
             res.trace_kinds()
 
     def test_sparsification_schedule_visible(self):
-        """The §3.1 schedule is gather -> scatter -> gather, verbatim."""
+        """The §3.1 schedule: scalar-weight gather, then the typed path —
+        a counts scatterv and the sampled-edges gatherv."""
         from repro.core.sparsify import sparsify_weighted
 
         g = erdos_renyi(40, 120, philox_stream(54), weighted=True)
@@ -311,4 +312,4 @@ class TestEngineTrace:
 
         eng = Engine(trace=True)
         res = eng.run(prog, 2, seed=1)
-        assert res.trace_kinds() == ["gather", "scatter", "gather"]
+        assert res.trace_kinds() == ["gather", "scatterv", "gatherv"]
