@@ -1,0 +1,150 @@
+"""Fault-tolerant scheduler benchmark: overhead off, recovery on.
+
+Runs the exact minimum cut on a fixed random graph three ways and writes
+``results/BENCH_faults.json``:
+
+* ``legacy``: the monolithic ``minimum_cut`` dispatch (no scheduler);
+* ``scheduled``: the same trials through :class:`repro.sched.TrialScheduler`
+  with no faults injected — the zero-fault tax;
+* ``recovery``: the scheduled run with a deterministic worker crash at
+  the first dispatch, which the scheduler must absorb with one retry.
+
+The headline numbers are deterministic, so they gate exactly in
+:mod:`benchmarks.perf_gate`:
+
+* ``values_match`` / ``recovery_value_match`` — all three paths produce
+  the same cut value;
+* ``fingerprint_match`` — the recovery run's trial ledger is
+  bit-identical to the fault-free scheduled run's (per-trial RNG streams
+  are keyed by global trial id, so a retry replays the same trials);
+* ``predicted_overhead_pct`` — scheduler overhead on the *analytic*
+  time model (machine-noise-free): the scheduled run's predicted seconds
+  over the legacy run's.  Acceptance bar: <= 2%.
+
+Wall-clock seconds (min over repeats) are recorded for context but never
+gated — they are machine noise territory.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_faults
+    PYTHONPATH=src python -m benchmarks.bench_faults --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Acceptance bar: predicted (analytic-model) scheduler overhead with
+#: fault injection off, as a percentage of the legacy dispatch.
+OVERHEAD_CEILING_PCT = 2.0
+
+
+def _workload(scale: float, seed: int):
+    from repro.graph import erdos_renyi
+    from repro.rng import philox_stream
+
+    n = max(96, int(512 * scale))
+    m = max(n + 1, int(4096 * scale))
+    g = erdos_renyi(n, m, philox_stream(seed + 13), weighted=True)
+    trials = 16
+    return g, trials
+
+
+def _timed(fn, repeats: int):
+    """(result of last call, min wall seconds over repeats)."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def run_benchmarks(scale: float = 1.0, seed: int = 0,
+                   repeats: int = 3) -> dict:
+    from repro.core.mincut import minimum_cut
+    from repro.faults import parse_fault_plan
+    from repro.sched import TrialScheduler
+
+    g, trials = _workload(scale, seed)
+    p = 4
+
+    legacy, legacy_wall = _timed(
+        lambda: minimum_cut(g, p=p, seed=seed, trials=trials), repeats)
+    sched, sched_wall = _timed(
+        lambda: TrialScheduler().run(g, p, seed=seed, trials=trials),
+        repeats)
+    plan = parse_fault_plan("crash:rank=1,step=1")
+    recov, recov_wall = _timed(
+        lambda: TrialScheduler(fault_plan=plan, backoff_s=0.0).run(
+            g, p, seed=seed, trials=trials),
+        repeats)
+
+    legacy_pred = legacy.time.total_s
+    sched_pred = sched.time.total_s
+    overhead_pct = 100.0 * (sched_pred - legacy_pred) / legacy_pred
+
+    return {
+        "workload": {"n": g.n, "m": g.m, "p": p, "trials": trials,
+                     "seed": seed},
+        "legacy": {"value": legacy.value, "predicted_s": legacy_pred,
+                   "wall_s": legacy_wall},
+        "scheduled": {"value": sched.value, "predicted_s": sched_pred,
+                      "wall_s": sched_wall, "dispatches": sched.dispatches,
+                      "fingerprint": sched.ledger.fingerprint()},
+        "recovery": {"value": recov.value, "wall_s": recov_wall,
+                     "retries": recov.retries,
+                     "fingerprint": recov.ledger.fingerprint()},
+        "values_match": legacy.value == sched.value,
+        "recovery_value_match": recov.value == sched.value,
+        "recovery_retried": recov.retries == 1,
+        "fingerprint_match": (recov.ledger.fingerprint()
+                              == sched.ledger.fingerprint()),
+        "predicted_overhead_pct": overhead_pct,
+        "overhead_ok": overhead_pct <= OVERHEAD_CEILING_PCT,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    record = run_benchmarks(scale=args.scale, seed=args.seed,
+                            repeats=args.repeats)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "BENCH_faults.json"
+    out.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+
+    print(f"legacy     predicted {record['legacy']['predicted_s']:.6f}s  "
+          f"wall {record['legacy']['wall_s']:.4f}s  "
+          f"value {record['legacy']['value']:g}")
+    print(f"scheduled  predicted {record['scheduled']['predicted_s']:.6f}s  "
+          f"wall {record['scheduled']['wall_s']:.4f}s  "
+          f"overhead {record['predicted_overhead_pct']:+.3f}%")
+    print(f"recovery   wall {record['recovery']['wall_s']:.4f}s  "
+          f"retries {record['recovery']['retries']}  "
+          f"ledger match {record['fingerprint_match']}")
+    print(f"wrote {out}")
+    ok = (record["values_match"] and record["recovery_value_match"]
+          and record["recovery_retried"] and record["fingerprint_match"]
+          and record["overhead_ok"])
+    if not ok:
+        print("bench_faults: acceptance bars FAILED", file=sys.stderr)
+        return 1
+    print(f"bench_faults: OK (overhead within {OVERHEAD_CEILING_PCT:g}%, "
+          f"recovery bit-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

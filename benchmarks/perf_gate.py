@@ -21,6 +21,12 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   allocate at least 2x fewer segments than the legacy codec, and both
   codecs must produce identical results.  Wall-clock is recorded by the
   benchmark but never gated.
+* **Scheduler fingerprints** — the fault-tolerant trial scheduler's
+  deterministic acceptance bars from :mod:`benchmarks.bench_faults`:
+  the scheduled dispatch must match the legacy dispatch's cut value, a
+  crash-recovery run must retry exactly once and reproduce the
+  fault-free ledger fingerprint bit-for-bit, and the predicted
+  (analytic-model) overhead with injection off must stay under 2%.
 
 Usage::
 
@@ -39,6 +45,8 @@ import os
 import sys
 from pathlib import Path
 
+from bench_faults import OVERHEAD_CEILING_PCT
+from bench_faults import run_benchmarks as run_fault_benchmarks
 from bench_kernels import run_benchmarks
 from bench_transport import ALLOC_REDUCTION_FLOOR
 from bench_transport import run_benchmarks as run_transport_benchmarks
@@ -109,12 +117,28 @@ def transport_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
     }
 
 
+def sched_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
+    """Deterministic scheduler-gate fields from bench_faults."""
+    r = run_fault_benchmarks(scale=scale, seed=seed, repeats=1)
+    return {
+        "legacy_value": r["legacy"]["value"],
+        "scheduled_value": r["scheduled"]["value"],
+        "ledger_fingerprint": r["scheduled"]["fingerprint"],
+        "values_match": r["values_match"],
+        "recovery_value_match": r["recovery_value_match"],
+        "recovery_retried": r["recovery_retried"],
+        "fingerprint_match": r["fingerprint_match"],
+        "predicted_overhead_pct": r["predicted_overhead_pct"],
+    }
+
+
 def measure(scale: float = 1.0, seed: int = 0) -> dict:
     """Run all baseline sections and return the combined record."""
     return {
         "counters": counter_fingerprints(),
         "timings": run_benchmarks(scale=scale, seed=seed),
         "transport": transport_fingerprints(scale=scale, seed=seed),
+        "sched": sched_fingerprints(scale=scale, seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -200,6 +224,35 @@ def _check_transport(base: dict | None, now: dict, lines: list[str]) -> bool:
     return ok
 
 
+def _check_sched(base: dict | None, now: dict, lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  sched: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    # Exact drift checks: values and the fault-free ledger fingerprint
+    # are analytic, so any change means the scheduled trial trajectories
+    # moved.
+    for key in ("legacy_value", "scheduled_value", "ledger_fingerprint"):
+        if base[key] != now[key]:
+            ok = False
+            lines.append(f"  sched.{key}: baseline={base[key]!r} "
+                         f"current={now[key]!r}")
+    # Acceptance bars, re-proved on every run.
+    for flag in ("values_match", "recovery_value_match",
+                 "recovery_retried", "fingerprint_match"):
+        if not now[flag]:
+            ok = False
+            lines.append(f"  sched.{flag}: False")
+    if now["predicted_overhead_pct"] > OVERHEAD_CEILING_PCT:
+        ok = False
+        lines.append(
+            f"  sched.predicted_overhead_pct: "
+            f"{now['predicted_overhead_pct']:.3f}% exceeds the "
+            f"{OVERHEAD_CEILING_PCT:g}% ceiling")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -212,7 +265,8 @@ def check(scale: float, seed: int, slack: float) -> int:
     timings_ok = _check_timings(base["timings"], now["timings"], slack, lines)
     transport_ok = _check_transport(base.get("transport"), now["transport"],
                                     lines)
-    if counters_ok and timings_ok and transport_ok:
+    sched_ok = _check_sched(base.get("sched"), now["sched"], lines)
+    if counters_ok and timings_ok and transport_ok and sched_ok:
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
         segs = ", ".join(
@@ -221,7 +275,9 @@ def check(scale: float, seed: int, slack: float) -> int:
             for k, v in sorted(now["transport"].items()))
         print(f"perf_gate: OK — counters exact, timings within "
               f"{slack:g}x slack ({speeds}), transport segments exact "
-              f"({segs})")
+              f"({segs}), scheduler overhead "
+              f"{now['sched']['predicted_overhead_pct']:+.3f}% with "
+              f"bit-identical crash recovery")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

@@ -22,6 +22,15 @@ Usage::
     python -m repro.cli parallel_cc g.txt --procs 4 --backend mp
     python -m repro.cli approx_cut g.txt --procs 8 --seed 1
     python -m repro.cli square_root g.txt --procs 8 --seed 1 --trial-scale 0.1
+    python -m repro.cli square_root g.txt --procs 4 --backend mp \
+        --max-retries 3 --checkpoint ledger.jsonl \
+        --inject-faults crash:rank=1,step=1
+
+The last form engages the fault-tolerant trial scheduler (``repro.sched``):
+any of ``--max-retries``, ``--retry-backoff``, ``--checkpoint``,
+``--resume`` or ``--inject-faults`` dispatches the Monte-Carlo trials
+through the retrying, checkpointable dispatch loop and reports the
+achieved success probability next to the profile line.
 """
 
 from __future__ import annotations
@@ -102,15 +111,49 @@ def _cmd_approx_cut(args) -> int:
     return 0
 
 
+def _scheduler_spec(args):
+    """A :class:`~repro.sched.TrialScheduler` when any scheduling flag was
+    given, else None (the legacy monolithic dispatch)."""
+    engaged = (
+        args.max_retries is not None or args.retry_backoff is not None
+        or args.checkpoint or args.resume or args.inject_faults
+    )
+    if not engaged:
+        return None
+    from repro.sched import TrialScheduler
+
+    plan = None
+    if args.inject_faults:
+        from repro.faults import parse_fault_plan
+
+        plan = parse_fault_plan(args.inject_faults)
+    return TrialScheduler(
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        backoff_s=0.05 if args.retry_backoff is None else args.retry_backoff,
+        checkpoint=args.checkpoint or None,
+        fault_plan=plan,
+    )
+
+
 def _cmd_square_root(args) -> int:
     g = read_edgelist(args.input)
+    scheduler = _scheduler_spec(args)
     res = minimum_cut(
         g, p=args.procs, seed=args.seed,
         success_prob=args.success_prob, trial_scale=args.trial_scale,
         trials=args.trials, backend=_backend_spec(args),
+        scheduler=scheduler, resume=args.resume,
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "square_root", f"{res.value:g}"))
+    if scheduler is not None:
+        ledger = res.ledger
+        print(
+            f"scheduler: {ledger.completed}/{res.trials} trials completed, "
+            f"achieved success probability "
+            f"{res.achieved_success_prob:.6f} "
+            f"(requested {args.success_prob:g})"
+        )
     _emit_trace(args, res.trace)
     return 0
 
@@ -175,6 +218,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="override the trial count")
     sp.add_argument("--trial-scale", type=float, default=1.0,
                     help="scale the Theta((n^2/m) log^2 n) trial count")
+    sp.add_argument("--max-retries", type=int, default=None,
+                    help="fault-tolerant scheduler: retries per trial wave "
+                         "(giving any scheduler flag engages the scheduler; "
+                         "default 2 once engaged)")
+    sp.add_argument("--retry-backoff", type=float, default=None,
+                    help="scheduler: base retry backoff seconds, doubled "
+                         "per attempt with deterministic jitter "
+                         "(default 0.05 once engaged)")
+    sp.add_argument("--checkpoint", metavar="PATH", default=None,
+                    help="scheduler: write the trial ledger to this JSONL "
+                         "file after every wave")
+    sp.add_argument("--resume", action="store_true",
+                    help="scheduler: resume from --checkpoint, re-running "
+                         "only trials without a recorded result")
+    sp.add_argument("--inject-faults", metavar="PLAN", default=None,
+                    help="scheduler: deterministic fault plan — inline "
+                         "'kind:rank=R,step=K[,...];...' spec, JSON, or a "
+                         "JSON file path (see repro.faults)")
     sp.set_defaults(func=_cmd_square_root)
 
     sp = sub.add_parser("generate", help="generate a benchmark input graph")
@@ -205,6 +266,27 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     trials = getattr(args, "trials", None)
     if trials is not None and trials < 1:
         parser.error(f"--trials must be >= 1, got {trials}")
+    max_retries = getattr(args, "max_retries", None)
+    if max_retries is not None and max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {max_retries}")
+    retry_backoff = getattr(args, "retry_backoff", None)
+    if retry_backoff is not None and retry_backoff < 0:
+        parser.error(f"--retry-backoff must be >= 0, got {retry_backoff}")
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint")
+    inject = getattr(args, "inject_faults", None)
+    if inject:
+        from repro.faults import parse_fault_plan
+
+        try:
+            parse_fault_plan(inject)
+        except ValueError as exc:
+            parser.error(f"--inject-faults: {exc}")
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint:
+        d = os.path.dirname(os.path.abspath(checkpoint))
+        if not os.path.isdir(d):
+            parser.error(f"--checkpoint directory does not exist: {d}")
     trace = getattr(args, "trace", None)
     if trace is not None:
         d = os.path.dirname(os.path.abspath(trace))

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import operator
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -527,6 +528,13 @@ class MinCutResult:
     time: TimeEstimate
     #: Per-superstep TraceEvents when the backend traced, else None.
     trace: list | None = None
+    #: Scheduled runs: success probability actually achieved by the
+    #: trials that completed (>= the requested probability when the full
+    #: planned budget finished); None for unscheduled runs.
+    achieved_success_prob: float | None = None
+    #: Scheduled runs: the per-trial ledger
+    #: (:class:`~repro.sched.ledger.TrialLedger`); None otherwise.
+    ledger: Any = None
 
 
 def minimum_cut(
@@ -540,6 +548,8 @@ def minimum_cut(
     preprocess: bool = False,
     engine: Engine | None = None,
     backend: str | Backend | None = None,
+    scheduler: "Any | None" = None,
+    resume: bool = False,
 ) -> MinCutResult:
     """Exact (w.p. >= ``success_prob``) global minimum cut of ``g``.
 
@@ -550,9 +560,18 @@ def minimum_cut(
     Deterministic given ``seed`` (and, for ``p <= trials``, independent of
     ``p``).  ``backend`` selects the runtime (``"sim"``/``"mp"``/
     instance); results are backend-independent for a fixed ``seed``.
+
+    ``scheduler`` — a :class:`~repro.sched.scheduler.TrialScheduler` —
+    routes the trials through the fault-tolerant dispatch loop instead of
+    the monolithic program: retries, checkpoint/resume (``resume=True``
+    reloads the scheduler's checkpoint), fault injection, and an
+    ``achieved_success_prob``/``ledger`` on the result.  The cut value is
+    bit-identical to the unscheduled path for the same ``seed``.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
+    if resume and scheduler is None:
+        raise ValueError("resume=True requires a scheduler")
     runtime = resolve_backend(backend, engine=engine)
     lift = None
     if preprocess:
@@ -563,6 +582,20 @@ def minimum_cut(
             lift = None
         else:
             g = h
+    if scheduler is not None:
+        sres = scheduler.run(
+            g, p, backend=runtime, seed=seed, success_prob=success_prob,
+            trials=trials, trial_scale=trial_scale, resume=resume,
+        )
+        side = sres.side
+        if lift is not None and side is not None:
+            side = side[lift]
+        return MinCutResult(
+            value=sres.value, side=side, trials=sres.trials,
+            report=sres.report, time=sres.time, trace=sres.trace,
+            achieved_success_prob=sres.achieved_success_prob,
+            ledger=sres.ledger,
+        )
     if trials is None:
         trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
                             scale=trial_scale)
@@ -591,6 +624,10 @@ class MinCutsResult:
     time: TimeEstimate
     #: Per-superstep TraceEvents when the backend traced, else None.
     trace: list | None = None
+    #: Scheduled runs: achieved success probability / trial ledger, as
+    #: in :class:`MinCutResult`; None for unscheduled runs.
+    achieved_success_prob: float | None = None
+    ledger: Any = None
 
 
 def minimum_cuts(
@@ -603,17 +640,34 @@ def minimum_cuts(
     trial_scale: float = 1.0,
     engine: Engine | None = None,
     backend: str | Backend | None = None,
+    scheduler: "Any | None" = None,
+    resume: bool = False,
 ) -> MinCutsResult:
     """All global minimum cuts of ``g`` (w.h.p. given enough trials).
 
     Lemma 4.3: the §4 trial budget preserves and finds *every* minimum cut
     with high probability; this driver collects the distinct witnesses
     discovered across trials (a side and its complement count once).
-    ``backend`` selects the runtime, as in :func:`minimum_cut`.
+    ``backend`` selects the runtime and ``scheduler`` routes the trials
+    through the fault-tolerant dispatch loop, as in :func:`minimum_cut`.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
+    if resume and scheduler is None:
+        raise ValueError("resume=True requires a scheduler")
     runtime = resolve_backend(backend, engine=engine)
+    if scheduler is not None:
+        sres = scheduler.run(
+            g, p, backend=runtime, seed=seed, success_prob=success_prob,
+            trials=trials, trial_scale=trial_scale, resume=resume,
+            collect_all=True,
+        )
+        return MinCutsResult(
+            value=sres.value, sides=sres.sides, trials=sres.trials,
+            report=sres.report, time=sres.time, trace=sres.trace,
+            achieved_success_prob=sres.achieved_success_prob,
+            ledger=sres.ledger,
+        )
     if trials is None:
         trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
                             scale=trial_scale)

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["eager_survival_probability", "recursive_success_probability", "num_trials"]
+__all__ = [
+    "eager_survival_probability",
+    "recursive_success_probability",
+    "num_trials",
+    "achieved_success_probability",
+]
 
 
 def eager_survival_probability(n: int, t: int) -> float:
@@ -38,6 +43,25 @@ def recursive_success_probability(n: int) -> float:
     return min(1.0, 1.0 / max(1.0, math.log2(n)))
 
 
+def _per_trial_q(n: int, m: int) -> float:
+    """The per-trial success lower bound q (Lemmas 2.1 + 2.2).
+
+    One independent trial finds a given minimum cut with probability at
+    least ``q``; ``t`` trials therefore succeed with probability at least
+    ``1 - (1-q)^t >= 1 - exp(-q t)``.  Shared by :func:`num_trials` (which
+    inverts the bound for a requested probability) and
+    :func:`achieved_success_probability` (which evaluates it forward for a
+    completed-trial count), so requested and achieved probabilities are
+    exact inverses of each other.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one edge, got m={m}")
+    t_eager = min(n, math.ceil(math.sqrt(m)) + 1)
+    q = eager_survival_probability(n, max(2, t_eager))
+    q *= recursive_success_probability(max(2, t_eager))
+    return q
+
+
 def num_trials(
     n: int,
     m: int,
@@ -47,18 +71,42 @@ def num_trials(
 ) -> int:
     """Number of independent trials for overall success ``success_prob``.
 
-    ``scale`` < 1 shrinks the count for scaled-down benchmark runs (the
-    reproduction's stand-in for the paper's full-size configurations); the
-    success guarantee then degrades proportionally and is reported as such.
+    ``success_prob`` must lie strictly inside ``(0, 1)``: certainty
+    (``>= 1``) needs infinitely many Monte-Carlo trials and ``<= 0``
+    requests no guarantee at all, so both are rejected rather than
+    silently clamped.  ``scale`` < 1 shrinks the count for scaled-down
+    benchmark runs (the reproduction's stand-in for the paper's full-size
+    configurations); the success guarantee then degrades proportionally
+    and is reported as such.
     """
-    if not 0 < success_prob < 1:
-        raise ValueError(f"success_prob must be in (0, 1), got {success_prob}")
-    if scale <= 0:
-        raise ValueError(f"scale must be positive, got {scale}")
-    if m < 1:
-        raise ValueError(f"need at least one edge, got m={m}")
-    t_eager = min(n, math.ceil(math.sqrt(m)) + 1)
-    q = eager_survival_probability(n, max(2, t_eager))
-    q *= recursive_success_probability(max(2, t_eager))
+    if not 0 < success_prob < 1:  # also rejects NaN: all comparisons fail
+        raise ValueError(
+            f"success_prob must be strictly between 0 and 1 (exclusive), "
+            f"got {success_prob!r}: probability 1.0 needs infinitely many "
+            "Monte-Carlo trials and probability <= 0 requests no guarantee"
+        )
+    if not (scale > 0 and math.isfinite(scale)):
+        raise ValueError(f"scale must be positive and finite, got {scale!r}")
+    q = _per_trial_q(n, m)
     raw = math.log(1.0 / (1.0 - success_prob)) / q
     return max(1, math.ceil(raw * scale))
+
+
+def achieved_success_probability(n: int, m: int, completed: int) -> float:
+    """Success probability *achieved* by ``completed`` finished trials.
+
+    The forward evaluation of the bound :func:`num_trials` inverts:
+    ``1 - exp(-q * completed)`` with the same per-trial ``q``.  Because
+    ``num_trials`` rounds the trial count *up*, completing the full
+    planned count always achieves at least the requested probability;
+    fewer completed trials (a partial, fault-degraded run) yield a
+    correspondingly smaller guarantee — which is the honest number a
+    fault-tolerant scheduler must report.
+    """
+    if completed < 0:
+        raise ValueError(f"completed trial count must be >= 0, got {completed}")
+    if completed == 0:
+        return 0.0
+    q = _per_trial_q(n, m)
+    # -expm1(-x) = 1 - exp(-x) without cancellation for small q*completed.
+    return -math.expm1(-q * completed)

@@ -25,7 +25,7 @@ __all__ = ["median_ci", "measure", "Datapoint", "run_algorithm"]
 
 
 def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
-                  backend=None, tracer=None, **kwargs):
+                  backend=None, tracer=None, scheduler=None, **kwargs):
     """Run one of the artifact algorithms on a chosen execution backend.
 
     ``algorithm`` is an artifact executable tag: ``"parallel_cc"``,
@@ -34,7 +34,11 @@ def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
     instance; extra ``kwargs`` flow to the algorithm's entry point.
     ``tracer`` attaches a :class:`~repro.trace.tracer.Tracer` (e.g. a
     ``RecordingTracer``) to a fresh backend of the requested kind; the
-    result object then carries the run's per-superstep trace.  Returns
+    result object then carries the run's per-superstep trace.
+    ``scheduler`` — a :class:`~repro.sched.scheduler.TrialScheduler` —
+    engages the fault-tolerant trial dispatch loop; it applies to the
+    Monte-Carlo ``"square_root"`` algorithm only (the others have no
+    trial structure to schedule) and is rejected for the rest.  Returns
     the entry point's result object (``CCResult`` / ``ApproxMinCutResult``
     / ``MinCutResult``), whose ``time`` is analytic under ``sim`` and
     measured wall-clock under ``mp``.
@@ -58,6 +62,13 @@ def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
             f"unknown algorithm {algorithm!r}; expected one of "
             f"{sorted(dispatch)}"
         ) from None
+    if scheduler is not None:
+        if algorithm != "square_root":
+            raise ValueError(
+                f"scheduler= applies to the trial-based 'square_root' "
+                f"algorithm only, not {algorithm!r}"
+            )
+        kwargs["scheduler"] = scheduler
     if tracer is not None:
         from repro.runtime.base import resolve_backend
 

@@ -16,11 +16,12 @@ keeps the legacy ``engine=`` escape hatch working.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Sequence
 
 from repro.bsp.engine import Engine, RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultSpec
     from repro.trace.tracer import Tracer
 
 __all__ = ["Backend", "resolve_backend", "available_backends"]
@@ -41,12 +42,20 @@ class Backend(ABC):
         seed: int = 0,
         args: Iterable[Any] = (),
         kwargs: dict | None = None,
+        faults: "Sequence[FaultSpec] | None" = None,
     ) -> RunResult:
         """Execute ``program(ctx, *args, **kwargs)`` on ``p`` processors.
 
         Must be deterministic given ``seed``: for a fixed root seed every
         backend returns byte-identical per-rank values and counters (the
         simulator is the correctness/cost oracle for real runtimes).
+
+        ``faults`` injects deterministic :class:`~repro.faults.FaultSpec`
+        records at the backend's superstep seam (see :mod:`repro.faults`);
+        failures then surface as the same typed
+        :class:`~repro.runtime.errors.WorkerFailure` errors on every
+        backend.  ``None`` (the default) must be a zero-overhead fast
+        path.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

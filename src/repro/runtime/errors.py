@@ -5,6 +5,13 @@ on one rank, a rank hanging past the inactivity timeout — surfaces as a
 :class:`WorkerFailure` (a ``RuntimeError``) carrying the failing rank(s),
 never as a hang: the coordinator bounds every wait and tears the worker
 pool down before re-raising.
+
+Failures additionally carry *where* the run was when it died: the
+coordinator stamps the failing rank's completed-superstep count
+(``superstep``), and the trial scheduler (:mod:`repro.sched`) stamps the
+trial ids that were in flight (:meth:`WorkerFailure.attach_trials`), so
+an error message names the exact retryable unit of work that was lost —
+which is what makes partial results recoverable instead of discarded.
 """
 
 from __future__ import annotations
@@ -18,21 +25,53 @@ __all__ = [
 
 
 class WorkerFailure(RuntimeError):
-    """Base class for multiprocess-backend failures."""
+    """Base class for multiprocess-backend failures.
+
+    Attributes
+    ----------
+    trials:
+        Trial ids in flight when the failure hit, stamped by the trial
+        scheduler via :meth:`attach_trials`; ``None`` outside a scheduled
+        run.
+    """
+
+    trials: tuple[int, ...] | None = None
+
+    def attach_trials(self, trial_ids) -> "WorkerFailure":
+        """Stamp the in-flight trial ids onto this failure (idempotent).
+
+        Extends the message so the context survives plain ``str(exc)``
+        formatting in logs and test output.
+        """
+        ids = tuple(int(t) for t in trial_ids)
+        if self.trials == ids:
+            return self
+        self.trials = ids
+        if self.args:
+            self.args = (
+                f"{self.args[0]} [trial(s) in flight: {list(ids)}]",
+            ) + self.args[1:]
+        return self
 
 
 class WorkerCrashError(WorkerFailure):
     """A worker process died without reporting a Python exception.
 
     Typically an abrupt exit (``os._exit``, OOM kill, segfault).  Carries
-    the global rank and the process exit code.
+    the global rank, the process exit code, and — when the coordinator
+    knows it — the number of supersteps the rank had completed when it
+    died (i.e. the superstep that was in flight).
     """
 
-    def __init__(self, rank: int, exitcode: int | None):
+    def __init__(self, rank: int, exitcode: int | None,
+                 superstep: int | None = None):
         self.rank = rank
         self.exitcode = exitcode
+        self.superstep = superstep
+        at = "" if superstep is None else f" during superstep {superstep}"
         super().__init__(
-            f"worker rank {rank} died unexpectedly (exit code {exitcode})"
+            f"worker rank {rank} died unexpectedly{at} "
+            f"(exit code {exitcode})"
         )
 
 
@@ -54,14 +93,24 @@ class WorkerTimeoutError(WorkerFailure):
 
     ``missing`` lists the global ranks the coordinator was still waiting
     on (alive but silent — hung, deadlocked outside a collective, or
-    legitimately slower than the timeout allows).
+    legitimately slower than the timeout allows); ``supersteps`` maps each
+    missing rank to the number of supersteps it had completed, when the
+    coordinator knows it.
     """
 
-    def __init__(self, timeout_s: float, missing: list[int]):
+    def __init__(self, timeout_s: float, missing: list[int],
+                 supersteps: dict[int, int] | None = None):
         self.timeout_s = timeout_s
         self.missing = list(missing)
+        self.supersteps = dict(supersteps) if supersteps else None
+        at = ""
+        if self.supersteps:
+            at = (" (completed supersteps: "
+                  + ", ".join(f"rank {r}: {s}"
+                              for r, s in sorted(self.supersteps.items()))
+                  + ")")
         super().__init__(
             f"no worker activity for {timeout_s:g}s; still waiting on "
-            f"rank(s) {self.missing} (raise MpBackend(timeout=...) if the "
-            "computation is legitimately slow)"
+            f"rank(s) {self.missing}{at} (raise MpBackend(timeout=...) if "
+            "the computation is legitimately slow)"
         )

@@ -30,13 +30,17 @@ re-raising — a failed run never hangs and never leaks processes.
 
 from __future__ import annotations
 
+import glob
+import itertools
 import logging
 import multiprocessing
 import operator as _operator
+import os
+import time
 from multiprocessing.connection import wait as _conn_wait
 from multiprocessing.reduction import ForkingPickler
 from time import perf_counter
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.bsp.comm import CollectiveOp, payload_words
 from repro.bsp.counters import CountersReport, ProcCounters
@@ -44,6 +48,7 @@ from repro.bsp.engine import Engine, ROOTED_KINDS, RunResult
 from repro.bsp.errors import CollectiveMismatchError, DeadlockError
 from repro.bsp.machine import TimeEstimate
 from repro.cache.model import CacheParams
+from repro.faults import FaultSpec
 from repro.runtime.base import Backend
 from repro.runtime.errors import (
     WorkerCrashError,
@@ -76,6 +81,21 @@ logger = logging.getLogger(__name__)
 #: benchmark-scale local compute phases, finite so nothing ever hangs.
 DEFAULT_TIMEOUT_S = 300.0
 
+#: Per-process sequence distinguishing concurrent runs' slab prefixes.
+_RUN_SEQ = itertools.count()
+
+
+def _run_slab_token() -> str:
+    """A short, per-run-unique shared-memory name token.
+
+    Combines the coordinator pid, a monotonic per-process sequence and a
+    millisecond timestamp so worker arena slab names (``{token}r{rank}n``)
+    never collide across coordinators or runs, while staying well under
+    the POSIX shm name limit.
+    """
+    return (f"rsh{os.getpid():x}g{next(_RUN_SEQ):x}"
+            f"t{int(time.time() * 1000) & 0xFFFFFF:x}")
+
 
 def default_start_method() -> str:
     """Preferred ``multiprocessing`` start method on this platform.
@@ -91,9 +111,14 @@ def default_start_method() -> str:
 class _Pool:
     """The worker processes plus the coordinator-side bookkeeping."""
 
-    def __init__(self, ctx, p: int, spec_for: Callable[[int], WorkerSpec]):
+    def __init__(self, ctx, p: int, spec_for: Callable[[int], WorkerSpec],
+                 slab_token: str | None = None):
         self.conns = []
         self.procs = []
+        #: Per-run worker slab name token; shutdown sweeps
+        #: ``/dev/shm/{token}*`` so even never-shipped slabs of a killed
+        #: worker (retained free-list slabs) are reclaimed.
+        self.slab_token = slab_token
         #: Every worker-arena slab name the coordinator has seen on the
         #: wire; swept (and leaks logged) after the workers are gone.
         self.worker_segments: set[str] = set()
@@ -140,8 +165,16 @@ class _Pool:
             conn.close()
         # Workers unlink their own arenas on clean exit (before DONE), so
         # anything still reclaimable here leaked — a worker died or was
-        # terminated mid-run.  Make that visible.
-        leaked = unlink_segments(sorted(self.worker_segments))
+        # terminated mid-run.  Make that visible.  The wire sweep catches
+        # slabs whose names crossed the pipe; the prefix sweep below also
+        # catches a killed worker's never-shipped (retained) slabs.
+        names = set(self.worker_segments)
+        if self.slab_token and os.path.isdir("/dev/shm"):
+            names |= {
+                os.path.basename(path)
+                for path in glob.glob(f"/dev/shm/{self.slab_token}*")
+            }
+        leaked = unlink_segments(sorted(names))
         if leaked:
             logger.warning(
                 "reclaimed %d leaked worker shm segment(s) at shutdown: %s",
@@ -228,8 +261,14 @@ class MpBackend(Backend):
         seed: int = 0,
         args: Iterable[Any] = (),
         kwargs: dict | None = None,
+        faults: Sequence[FaultSpec] | None = None,
     ) -> RunResult:
-        """Run ``program`` on ``p`` worker processes; measured time split."""
+        """Run ``program`` on ``p`` worker processes; measured time split.
+
+        ``faults`` injects the given deterministic :class:`FaultSpec`
+        records at the worker driver loop (see :mod:`repro.faults`); the
+        default ``None`` is the fault-free fast path.
+        """
         try:
             p = _operator.index(p)
         except TypeError:
@@ -245,6 +284,9 @@ class MpBackend(Backend):
         args = tuple(args)
         kwargs = dict(kwargs or {})
 
+        fault_specs = tuple(faults or ())
+        slab_token = _run_slab_token() if self.use_arena else None
+
         def spec_for(rank: int) -> WorkerSpec:
             return WorkerSpec(
                 rank=rank, p=p, world_gid=world.gid, seed=seed,
@@ -252,9 +294,11 @@ class MpBackend(Backend):
                 shm_threshold=self.shm_threshold,
                 trace=self.tracer.enabled,
                 use_arena=self.use_arena,
+                faults=fault_specs,
+                slab_prefix=(f"{slab_token}r{rank}n" if slab_token else None),
             )
 
-        pool = _Pool(ctx, p, spec_for)
+        pool = _Pool(ctx, p, spec_for, slab_token=slab_token)
         try:
             return self._coordinate(engine, pool, p)
         finally:
@@ -263,13 +307,14 @@ class MpBackend(Backend):
     # -- coordinator ---------------------------------------------------------
 
     @staticmethod
-    def _crash(pool: _Pool, rank: int) -> WorkerCrashError:
+    def _crash(pool: _Pool, rank: int,
+               superstep: int | None = None) -> WorkerCrashError:
         """Build the crash error, reaping the child first: its sentinel can
         fire a moment before the process is waitable, leaving ``exitcode``
         None until a join."""
         proc = pool.procs[rank]
         proc.join(timeout=5.0)
-        return WorkerCrashError(rank, proc.exitcode)
+        return WorkerCrashError(rank, proc.exitcode, superstep=superstep)
 
     def _coordinate(self, engine: Engine, pool: _Pool, p: int) -> RunResult:
         tracer = self.tracer
@@ -284,6 +329,9 @@ class MpBackend(Backend):
         counters: list[ProcCounters | None] = [None] * p
         app_s = [0.0] * p
         mpi_s = [0.0] * p
+        # Completed supersteps per rank (replies shipped): a failure stamps
+        # the failing rank's count so errors name the superstep in flight.
+        steps = [0] * p
         # Segments backing each rank's outstanding reply: the rank's next
         # message proves the reply was decoded, releasing the slabs back
         # to the pool (legacy: the worker already unlinked its one-shots).
@@ -392,8 +440,9 @@ class MpBackend(Backend):
                     try:
                         pool.conns[m].send_bytes(buf)
                     except (BrokenPipeError, OSError):
-                        raise self._crash(pool, m) from None
+                        raise self._crash(pool, m, steps[m]) from None
                     del pending[m]
+                    steps[m] += 1
                 if posts is not None:
                     now = perf_counter()
                     tracer.on_collective(
@@ -405,7 +454,7 @@ class MpBackend(Backend):
 
         try:
             self._event_loop(engine, pool, p, pending, finished, handle,
-                             execute_ready)
+                             execute_ready, steps)
         finally:
             # Replies a worker never consumed (error teardown) would leak
             # their segments; reclaim them here (no-op on clean runs: the
@@ -431,7 +480,7 @@ class MpBackend(Backend):
         )
 
     def _event_loop(self, engine, pool, p, pending, finished, handle,
-                    execute_ready) -> None:
+                    execute_ready, steps) -> None:
         while len(finished) < p:
             waitables = [
                 pool.conns[r] for r in range(p) if r not in finished
@@ -444,7 +493,10 @@ class MpBackend(Backend):
                     r for r in range(p)
                     if r not in finished and r not in pending
                 ) or sorted(r for r in range(p) if r not in finished)
-                raise WorkerTimeoutError(self.timeout, silent)
+                raise WorkerTimeoutError(
+                    self.timeout, silent,
+                    supersteps={r: steps[r] for r in silent},
+                )
             ready_ids = {id(obj) for obj in ready}
             # Messages first: a worker that reported and exited is not a crash.
             for rank in range(p):
@@ -468,5 +520,5 @@ class MpBackend(Backend):
                 if rank not in finished:
                     # Died before reporting — either mid-compute or while
                     # blocked inside a collective request.
-                    raise self._crash(pool, rank)
+                    raise self._crash(pool, rank, steps[rank])
             execute_ready()

@@ -8,15 +8,62 @@ the differential harness holds the real runtimes against.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable
+import functools
+import time
+from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.bsp.engine import Engine, RunResult
 from repro.bsp.machine import MachineModel
 from repro.cache.model import CacheParams
+from repro.faults import FaultInjector, FaultSpec
 from repro.runtime.base import Backend
+from repro.runtime.errors import WorkerCrashError, WorkerTimeoutError
 from repro.trace.tracer import Tracer
 
 __all__ = ["SimBackend"]
+
+
+def _with_faults(program: Callable[..., Generator],
+                 specs: Sequence[FaultSpec]) -> Callable[..., Generator]:
+    """Wrap ``program`` so each rank fires its faults at the step seam.
+
+    The wrapper relays collectives untouched; right before a rank's
+    ``step``-th collective is issued it applies that rank's faults exactly
+    where the mp worker driver does — so a ``work`` charge lands before
+    the engine snapshots ``since_sync`` and the synthetic imbalance
+    propagates into wait counters bit-identically to the mp backend.
+    ``crash`` and ``drop`` raise the mp backend's typed errors directly
+    (the simulator has no processes to kill or timeouts to wait out).
+    """
+
+    @functools.wraps(program)
+    def wrapped(ctx, *args, **kwargs):
+        gen = program(ctx, *args, **kwargs)
+        injector = FaultInjector(specs, ctx.rank)
+        if not injector.active:
+            return (yield from gen)
+        step = 0
+        inbox = None
+        while True:
+            try:
+                op = gen.send(inbox)
+            except StopIteration as stop:
+                return stop.value
+            for fault in injector.at(step):
+                if fault.kind == "crash":
+                    raise WorkerCrashError(ctx.rank, fault.exitcode,
+                                           superstep=step)
+                elif fault.kind == "work":
+                    ctx.counters.charge(ops=fault.ops)
+                elif fault.kind in ("stall", "delay"):
+                    time.sleep(fault.seconds)
+                elif fault.kind == "drop":
+                    raise WorkerTimeoutError(
+                        0.0, [ctx.rank], supersteps={ctx.rank: step})
+            inbox = yield op
+            step += 1
+
+    return wrapped
 
 
 class SimBackend(Backend):
@@ -50,6 +97,14 @@ class SimBackend(Backend):
         seed: int = 0,
         args: Iterable[Any] = (),
         kwargs: dict | None = None,
+        faults: Sequence[FaultSpec] | None = None,
     ) -> RunResult:
-        """Delegate to :meth:`Engine.run` (analytic ``TimeEstimate``)."""
+        """Delegate to :meth:`Engine.run` (analytic ``TimeEstimate``).
+
+        With ``faults``, the program is wrapped in a transparent fault
+        injector (see :mod:`repro.faults`); without, the engine runs the
+        program object untouched (zero-overhead fast path).
+        """
+        if faults:
+            program = _with_faults(program, tuple(faults))
         return self.engine.run(program, p, seed=seed, args=args, kwargs=kwargs)

@@ -321,10 +321,20 @@ class ShmArena:
     free lists, and unlinked eagerly once the pooled free bytes exceed
     ``max_retained`` — which bounds the arena's high-water mark.  Not
     thread-safe; each process endpoint owns exactly one.
+
+    ``name_prefix`` makes slab names deterministic (``{prefix}{seq}``)
+    instead of kernel-random: the multiprocess coordinator hands every
+    worker a unique per-run prefix so that slabs a killed worker never
+    got to unlink — including retained free-list slabs whose names never
+    crossed the wire — can be found and reclaimed by a prefix sweep at
+    pool shutdown.
     """
 
-    def __init__(self, max_retained: int = DEFAULT_MAX_RETAINED):
+    def __init__(self, max_retained: int = DEFAULT_MAX_RETAINED,
+                 name_prefix: str | None = None):
         self.max_retained = int(max_retained)
+        self.name_prefix = name_prefix
+        self._seq = 0
         self._free: dict[int, list[shared_memory.SharedMemory]] = {}
         self._segs: dict[str, shared_memory.SharedMemory] = {}  # all owned
         self._class_of: dict[str, int] = {}
@@ -352,7 +362,14 @@ class ShmArena:
             self._free_bytes -= fit
             self.reused += 1
         else:
-            seg = shared_memory.SharedMemory(create=True, size=cls)
+            if self.name_prefix is None:
+                seg = shared_memory.SharedMemory(create=True, size=cls)
+            else:
+                seg = shared_memory.SharedMemory(
+                    name=f"{self.name_prefix}{self._seq}", create=True,
+                    size=cls,
+                )
+                self._seq += 1
             _untrack(seg._name)
             self._segs[seg.name] = seg
             self._class_of[seg.name] = cls
@@ -471,10 +488,12 @@ class Transport:
         threshold: int = DEFAULT_SHM_THRESHOLD,
         use_arena: bool = True,
         max_retained: int = DEFAULT_MAX_RETAINED,
+        slab_prefix: str | None = None,
     ):
         self.threshold = int(threshold)
         self.use_arena = bool(use_arena)
-        self.arena = ShmArena(max_retained) if use_arena else None
+        self.arena = (ShmArena(max_retained, name_prefix=slab_prefix)
+                      if use_arena else None)
         self._attached: dict[str, shared_memory.SharedMemory] = {}
         self.stats = TransportStats()
 

@@ -23,6 +23,8 @@ arrives in a picklable :class:`WorkerSpec`.
 
 from __future__ import annotations
 
+import os
+import time
 import traceback
 from dataclasses import dataclass, replace
 from multiprocessing.reduction import ForkingPickler
@@ -34,6 +36,7 @@ from repro.bsp.counters import ProcCounters
 from repro.bsp.engine import Context
 from repro.bsp.errors import CollectiveMismatchError
 from repro.cache.model import CacheParams
+from repro.faults import FaultInjector, FaultSpec
 from repro.rng.streams import RngStreams
 from repro.runtime.transport import Transport, encode_payload
 
@@ -70,6 +73,13 @@ class WorkerSpec:
     #: Pooled-arena transport (default); False selects the legacy
     #: one-segment-per-array codec, kept for differential benchmarking.
     use_arena: bool = True
+    #: Deterministic faults to fire in this run (all ranks' specs; the
+    #: worker filters by its own rank).  See :mod:`repro.faults`.
+    faults: tuple[FaultSpec, ...] = ()
+    #: Shared-memory slab name prefix for this rank's arena.  Set by the
+    #: coordinator to a per-run deterministic value so that a killed
+    #: worker's slabs can be swept by name prefix at pool shutdown.
+    slab_prefix: str | None = None
 
 
 def _drive(conn, spec: WorkerSpec) -> None:
@@ -88,7 +98,10 @@ def _drive(conn, spec: WorkerSpec) -> None:
     app_s = mpi_s = 0.0
     inbox = None
     transport = Transport(threshold=spec.shm_threshold,
-                          use_arena=spec.use_arena)
+                          use_arena=spec.use_arena,
+                          slab_prefix=spec.slab_prefix)
+    injector = FaultInjector(spec.faults, spec.rank)
+    local_step = 0  # collectives this rank has completed
 
     gen = spec.program(ctx, *spec.args, **spec.kwargs)
     while True:
@@ -112,6 +125,27 @@ def _drive(conn, spec: WorkerSpec) -> None:
                 f"{op.sender}'s communicator view"
             )
 
+        # Deterministic fault injection point: after local compute, before
+        # this rank's `local_step`-th collective request leaves the process
+        # (the simulator wrapper injects at the same point — see
+        # repro.faults).  `work` charges land before the since_sync
+        # snapshot below, so the synthetic imbalance propagates into wait
+        # counters exactly as real computation would.
+        delay_s = 0.0
+        dropped = False
+        for fault in injector.at(local_step):
+            if fault.kind == "crash":
+                conn.close()  # abrupt: no error report, just a dead process
+                os._exit(fault.exitcode)
+            elif fault.kind == "work":
+                counters.charge(ops=fault.ops)
+            elif fault.kind == "stall":
+                time.sleep(fault.seconds)
+            elif fault.kind == "delay":
+                delay_s += fault.seconds
+            elif fault.kind == "drop":
+                dropped = True
+
         # Snapshot the imbalance input *before* blocking: ops charged since
         # this rank's previous synchronization (the engine's `since_sync`).
         since_sync = counters.ops - counters.ops_at_last_sync
@@ -124,6 +158,13 @@ def _drive(conn, spec: WorkerSpec) -> None:
             msg = (MSG_OP, spec.rank, wire, since_sync)
         buf = ForkingPickler.dumps(msg)
         transport.note_pickle(op.kind, len(buf))
+        if dropped:
+            # The request never reaches the coordinator: go silent until
+            # the inactivity timeout tears the pool down.
+            while True:
+                time.sleep(3600.0)
+        if delay_s:
+            time.sleep(delay_s)
         conn.send_bytes(buf)
         msg = conn.recv()
         # The reply proves the coordinator decoded the request (it decodes
@@ -143,6 +184,7 @@ def _drive(conn, spec: WorkerSpec) -> None:
         counters.charge(ops=extra_ops)
         counters.charge_comm(sent, recv, misses=comm_misses)
         inbox = transport.decode(payload)
+        local_step += 1
 
     # The DONE value rides legacy one-shot segments: this process exits
     # before the coordinator decodes, so arena slabs (unlinked below, with

@@ -1,0 +1,89 @@
+"""The wave-dispatch SPMD program behind the trial scheduler.
+
+:func:`mincut_trials_program` runs an *explicit set* of trial ids — one
+scheduler wave — and returns each trial's result individually, where the
+legacy :func:`~repro.core.mincut.mincut_program` runs ``range(trials)``
+and folds the minimum internally.  Returning per-trial results is what
+makes retry, checkpointing and partial aggregation possible: the ledger
+records every trial, and the fold happens *outside* the backend, in
+deterministic trial-id order.
+
+Determinism contract: trial ``ti``'s RNG is ``RngStreams(seed).aux(ti)``,
+keyed by the **global** trial id — exactly the stream the legacy program
+and :func:`~repro.core.mincut.minimum_cut_sequential` use.  A trial's
+``(value, side)`` is therefore a pure function of ``(graph, seed, ti)``,
+independent of which wave dispatched it, which attempt succeeded, how
+many processors ran it, or how the ids were batched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.traced import AnalyticTracker
+from repro.core.mincut import sequential_trial, sequential_trial_all
+from repro.rng.sampling import CumulativeWeightSampler
+from repro.rng.streams import RngStreams
+
+__all__ = ["mincut_trials_program"]
+
+
+def mincut_trials_program(ctx, slices, n, trial_ids, trial_seed,
+                          collect_all=False):
+    """SPMD program: run the given trials, gather per-trial results to root.
+
+    Trials are owned round-robin by position — position ``j`` belongs to
+    rank ``j % p`` — so any ``p`` covers the wave and per-trial results
+    are identical regardless.  Rank 0 returns the wave's results as a
+    list of ``(trial_id, value, side)`` sorted by trial id — or, with
+    ``collect_all``, ``(trial_id, value, {canonical_key: side})``
+    carrying every tied minimum-cut witness the trial found (Lemma 4.3);
+    other ranks return ``None``.
+
+    Two collectives: the graph-replication ``allgatherv`` and the result
+    ``gather`` — so fault ``step=0`` fires before any trial work and
+    ``step=1`` fires after a rank finished its trials but before the
+    results reach the coordinator (the "work lost at the last moment"
+    scenario recovery tests want).
+    """
+    comm = ctx.comm
+    p = ctx.p
+    g = slices[ctx.rank]
+
+    # Replicate the distributed edge array, exactly as the legacy
+    # program's p <= t path does (§4: broadcast when trials dominate).
+    parts = yield from comm.allgatherv(g.u, g.v, g.w)
+    fu, fv, fw = parts
+    ctx.charge_scan(fu.size, words_per_elem=3)
+
+    mine = []
+    if fu.size == 0:
+        side = np.zeros(n, dtype=bool)
+        side[0] = True
+        for j, ti in enumerate(trial_ids):
+            if j % p == ctx.rank:
+                payload = {b"": side} if collect_all else side
+                mine.append((int(ti), 0.0, payload))
+    else:
+        streams = RngStreams(trial_seed)
+        tracker = AnalyticTracker(ctx.cache)
+        first_sampler = CumulativeWeightSampler(fw)
+        tracker.alloc("edges", fu.size, words_per_elem=3)
+        tracker.alloc("labels", n)
+        trial_fn = sequential_trial_all if collect_all else sequential_trial
+        for j, ti in enumerate(trial_ids):
+            if j % p != ctx.rank:
+                continue
+            val, payload = trial_fn(
+                fu, fv, fw, n, streams.aux(int(ti)),
+                mem=tracker, first_sampler=first_sampler,
+            )
+            mine.append((int(ti), float(val), payload))
+        ctx.charge(ops=tracker.op_count, misses=tracker.miss_count)
+
+    gathered = yield from comm.gather(mine, root=0)
+    if ctx.rank != 0:
+        return None
+    results = [item for part in gathered for item in part]
+    results.sort(key=lambda item: item[0])
+    return results

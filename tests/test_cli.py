@@ -212,3 +212,84 @@ class TestBackendOption:
         # identical CSV record except the two measured-time columns
         assert mp_fields[8] == sim_fields[8]  # component count
         assert mp_fields[:5] == sim_fields[:5]
+
+
+class TestSchedulerOptions:
+    def test_plain_run_prints_no_scheduler_line(self, graph_file, capsys):
+        rc = main(["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                   "--trials", "4"])
+        assert rc == 0
+        assert "scheduler:" not in capsys.readouterr().out
+
+    def test_any_flag_engages_scheduler(self, graph_file, capsys):
+        rc = main(["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                   "--trials", "4", "--max-retries", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheduler: 4/4 trials completed" in out
+        assert "achieved success probability" in out
+
+    def test_scheduled_result_matches_legacy(self, graph_file, capsys):
+        args = ["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                "--trials", "4"]
+        main(args)
+        legacy = capsys.readouterr().out.strip().split(",")
+        main(args + ["--max-retries", "2"])
+        sched = capsys.readouterr().out.splitlines()[0].split(",")
+        assert sched[-1] == legacy[-1]  # same cut value column
+
+    def test_crash_injection_recovers(self, graph_file, capsys):
+        rc = main(["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                   "--trials", "4", "--retry-backoff", "0",
+                   "--inject-faults", "crash:rank=1,step=1"])
+        assert rc == 0
+        assert "4/4 trials completed" in capsys.readouterr().out
+
+    def test_checkpoint_file_written_and_resumable(self, graph_file,
+                                                   tmp_path, capsys):
+        ck = tmp_path / "ledger.jsonl"
+        args = ["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                "--trials", "4", "--checkpoint", str(ck)]
+        assert main(args) == 0
+        assert ck.exists()
+        first = capsys.readouterr().out.splitlines()
+        assert main(args + ["--resume"]) == 0
+        again = capsys.readouterr().out.splitlines()
+        # Timing columns differ (the resume dispatches nothing); the cut
+        # value and the scheduler summary line must not.
+        assert again[0].split(",")[-1] == first[0].split(",")[-1]
+        assert again[1] == first[1]
+
+    def test_resume_requires_checkpoint(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["square_root", str(graph_file), "--resume"])
+        assert exc_info.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("plan", [
+        "nonsense", "crash:rank=1", "stall:rank=0,step=0",
+    ])
+    def test_bad_fault_plan_is_usage_error(self, graph_file, capsys, plan):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["square_root", str(graph_file), "--inject-faults", plan])
+        assert exc_info.value.code == 2
+        assert "--inject-faults" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["square_root", str(graph_file), "--max-retries", "-1"])
+        assert exc_info.value.code == 2
+
+    def test_missing_checkpoint_dir_rejected(self, graph_file, tmp_path):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["square_root", str(graph_file),
+                  "--checkpoint", str(tmp_path / "nope" / "l.jsonl")])
+        assert exc_info.value.code == 2
+
+    def test_mp_backend_scheduled(self, graph_file, capsys):
+        require_mp()
+        rc = main(["square_root", str(graph_file), "-p", "2", "--seed", "2",
+                   "--trials", "4", "--backend", "mp", "--retry-backoff", "0",
+                   "--inject-faults", "crash:rank=1,step=1"])
+        assert rc == 0
+        assert "4/4 trials completed" in capsys.readouterr().out

@@ -7,7 +7,10 @@ import pytest
 
 from repro.core import approx_minimum_cut, num_trials, eager_survival_probability
 from repro.core.approx_mincut import _keep_probability
-from repro.core.trials import recursive_success_probability
+from repro.core.trials import (
+    achieved_success_probability,
+    recursive_success_probability,
+)
 from repro.graph import (
     EdgeList,
     complete_graph,
@@ -176,3 +179,52 @@ class TestTrialMath:
             num_trials(10, 20, scale=0)
         with pytest.raises(ValueError):
             num_trials(10, 0)
+
+    @pytest.mark.parametrize("prob", [1.0, 0.0, 1.5, -0.1])
+    def test_num_trials_out_of_range_prob_message(self, prob):
+        with pytest.raises(ValueError, match="strictly between 0 and 1"):
+            num_trials(10, 20, success_prob=prob)
+
+    def test_num_trials_prob_one_explains_why(self):
+        """p=1 would need infinitely many Monte-Carlo trials; say so."""
+        with pytest.raises(ValueError, match="infinitely many"):
+            num_trials(10, 20, success_prob=1.0)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, math.nan, math.inf])
+    def test_num_trials_bad_scale_rejected(self, scale):
+        with pytest.raises(ValueError, match="scale"):
+            num_trials(10, 20, scale=scale)
+
+    def test_num_trials_nan_prob_rejected(self):
+        with pytest.raises(ValueError):
+            num_trials(10, 20, success_prob=math.nan)
+
+
+class TestAchievedSuccessProbability:
+    def test_zero_completed_is_zero(self):
+        assert achieved_success_probability(100, 500, 0) == 0.0
+
+    def test_full_budget_meets_request(self):
+        for prob in (0.5, 0.9, 0.99):
+            planned = num_trials(100, 500, success_prob=prob)
+            achieved = achieved_success_probability(100, 500, planned)
+            assert achieved >= prob
+
+    def test_monotone_in_completed(self):
+        probs = [achieved_success_probability(100, 500, k)
+                 for k in range(0, 40, 5)]
+        assert probs == sorted(probs)
+        assert all(0.0 <= q < 1.0 for q in probs)
+
+    def test_partial_budget_falls_short(self):
+        planned = num_trials(100, 500, success_prob=0.9)
+        partial = achieved_success_probability(100, 500, planned // 2)
+        assert partial < 0.9
+
+    def test_negative_completed_rejected(self):
+        with pytest.raises(ValueError, match="completed"):
+            achieved_success_probability(100, 500, -1)
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(ValueError):
+            achieved_success_probability(100, 0, 1)

@@ -1,0 +1,156 @@
+"""Fault injection against real OS processes: crash/drop/work faults at
+the transport seam, error context (superstep, trials in flight), and the
+zero-shm-leak guarantee after a worker is killed mid-collective."""
+
+import operator
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from tests.conftest import require_mp
+from repro.faults import CRASH_EXIT_CODE, FaultSpec
+from repro.runtime.errors import WorkerCrashError, WorkerTimeoutError
+from repro.runtime.mp import MpBackend
+from repro.runtime.sim import SimBackend
+
+needs_dev_shm = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="needs /dev/shm"
+)
+
+
+def two_step_program(ctx, nwords=1):
+    """Two collectives (local steps 0 and 1); returns summed payload."""
+    data = np.full(nwords, float(ctx.rank + 1))
+    total = yield from ctx.comm.allreduce(data, op=operator.add)
+    ctx.charge(ops=float(ctx.rank) * 100.0)
+    total = yield from ctx.comm.allreduce(total, op=operator.add)
+    return float(total[0])
+
+
+def _shm_entries() -> set:
+    return set(os.listdir("/dev/shm"))
+
+
+class TestCrash:
+    def test_crash_error_carries_superstep_and_exitcode(self):
+        require_mp()
+        backend = MpBackend()
+        with pytest.raises(WorkerCrashError) as exc_info:
+            backend.run(two_step_program, 2, seed=0,
+                        faults=[FaultSpec("crash", rank=1, step=1)])
+        err = exc_info.value
+        assert err.rank == 1
+        assert err.exitcode == CRASH_EXIT_CODE
+        assert err.superstep == 1
+        assert "superstep 1" in str(err)
+        assert f"exit code {CRASH_EXIT_CODE}" in str(err)
+
+    def test_sim_raises_identical_message(self):
+        require_mp()
+        def msg(backend):
+            with pytest.raises(WorkerCrashError) as exc_info:
+                backend.run(two_step_program, 2, seed=0,
+                            faults=[FaultSpec("crash", rank=1, step=1)])
+            return str(exc_info.value)
+
+        assert msg(SimBackend()) == msg(MpBackend())
+
+    @needs_dev_shm
+    def test_crash_mid_collective_leaks_no_segments(self):
+        require_mp()
+        before = _shm_entries()
+        backend = MpBackend()
+        with pytest.raises(WorkerCrashError):
+            # Big payloads force the arena path; the crashing worker dies
+            # while its peers are mid-collective holding live slabs.
+            backend.run(two_step_program, 3, seed=0,
+                        kwargs={"nwords": 1 << 16},
+                        faults=[FaultSpec("crash", rank=2, step=1)])
+        assert _shm_entries() - before == set()
+
+    @needs_dev_shm
+    def test_retry_after_crash_leaks_nothing(self):
+        require_mp()
+        before = _shm_entries()
+        backend = MpBackend()
+        with pytest.raises(WorkerCrashError):
+            backend.run(two_step_program, 2, seed=0,
+                        kwargs={"nwords": 1 << 16},
+                        faults=[FaultSpec("crash", rank=0, step=0)])
+        res = backend.run(two_step_program, 2, seed=0,
+                          kwargs={"nwords": 1 << 16})
+        assert res.values[0] == res.values[1] == 6.0
+        assert _shm_entries() - before == set()
+
+
+class TestDrop:
+    def test_timeout_error_carries_supersteps(self):
+        require_mp()
+        backend = MpBackend(timeout=2.0)
+        with pytest.raises(WorkerTimeoutError) as exc_info:
+            backend.run(two_step_program, 2, seed=0,
+                        faults=[FaultSpec("drop", rank=1, step=1)])
+        err = exc_info.value
+        assert err.missing == [1]
+        assert err.supersteps == {1: 1}
+        assert "superstep" in str(err)
+
+    def test_sim_drop_is_immediate(self):
+        with pytest.raises(WorkerTimeoutError) as exc_info:
+            SimBackend().run(two_step_program, 2, seed=0,
+                             faults=[FaultSpec("drop", rank=1, step=1)])
+        assert exc_info.value.supersteps == {1: 1}
+
+
+class TestWorkFault:
+    def test_counter_parity_sim_vs_mp(self):
+        require_mp()
+        faults = [FaultSpec("work", rank=0, step=1, ops=12345.0)]
+
+        def tally(backend):
+            r = backend.run(two_step_program, 2, seed=0, faults=faults).report
+            return (r.computation, r.total_ops, r.volume, r.total_volume,
+                    r.wait, r.supersteps)
+
+        assert tally(SimBackend()) == tally(MpBackend())
+
+    def test_work_fault_changes_only_target_rank(self):
+        base = SimBackend().run(two_step_program, 2, seed=0)
+        res = SimBackend().run(
+            two_step_program, 2, seed=0,
+            faults=[FaultSpec("work", rank=0, step=1, ops=500.0)])
+        assert res.values == base.values
+        assert res.report.total_ops == base.report.total_ops + 500.0
+
+
+class TestSleepFaults:
+    def test_stall_preserves_results(self):
+        res = SimBackend().run(
+            two_step_program, 2, seed=0,
+            faults=[FaultSpec("stall", rank=1, step=0, seconds=0.01)])
+        assert res.values[0] == 6.0
+
+    def test_delay_preserves_results_mp(self):
+        require_mp()
+        res = MpBackend().run(
+            two_step_program, 2, seed=0,
+            faults=[FaultSpec("delay", rank=1, step=0, seconds=0.01)])
+        assert res.values[0] == 6.0
+
+
+class TestNoFaultRegression:
+    def test_faults_none_is_default_path(self):
+        a = SimBackend().run(two_step_program, 2, seed=0)
+        b = SimBackend().run(two_step_program, 2, seed=0, faults=None)
+        c = SimBackend().run(two_step_program, 2, seed=0, faults=[])
+        assert a.values == b.values == c.values
+        assert a.report == b.report == c.report
+
+    def test_faults_for_other_ranks_are_inert(self):
+        require_mp()
+        res = MpBackend().run(
+            two_step_program, 2, seed=0,
+            faults=[FaultSpec("crash", rank=7, step=0)])
+        assert res.values[0] == 6.0

@@ -1,0 +1,143 @@
+"""Tests for the deterministic fault-injection plan layer (repro.faults)."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        s = FaultSpec("crash", rank=1, step=2)
+        assert (s.wave, s.attempt) == (0, 0)
+        assert s.exitcode == CRASH_EXIT_CODE
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode", rank=0, step=0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("rank", -1), ("step", -2), ("wave", -1), ("attempt", -3),
+    ])
+    def test_negative_indices_rejected(self, field, value):
+        kw = {"kind": "crash", "rank": 0, "step": 0, field: value}
+        with pytest.raises(ValueError):
+            FaultSpec(**kw)
+
+    @pytest.mark.parametrize("kind", ["stall", "delay"])
+    def test_sleep_kinds_need_seconds(self, kind):
+        with pytest.raises(ValueError, match="seconds > 0"):
+            FaultSpec(kind, rank=0, step=0)
+        assert FaultSpec(kind, rank=0, step=0, seconds=0.1).seconds == 0.1
+
+    def test_work_needs_ops(self):
+        with pytest.raises(ValueError, match="ops > 0"):
+            FaultSpec("work", rank=0, step=0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultSpec("work", rank=0, step=0, ops=float("inf"))
+
+    def test_all_kinds_constructible(self):
+        extras = {"stall": {"seconds": 1.0}, "delay": {"seconds": 1.0},
+                  "work": {"ops": 1.0}}
+        for kind in FAULT_KINDS:
+            FaultSpec(kind, rank=0, step=0, **extras.get(kind, {}))
+
+
+class TestFaultPlan:
+    def test_for_dispatch_scoping(self):
+        plan = FaultPlan((
+            FaultSpec("crash", rank=0, step=0),
+            FaultSpec("crash", rank=1, step=0, wave=1),
+            FaultSpec("crash", rank=2, step=0, attempt=1),
+        ))
+        assert [s.rank for s in plan.for_dispatch(0, 0)] == [0]
+        assert [s.rank for s in plan.for_dispatch(1, 0)] == [1]
+        assert [s.rank for s in plan.for_dispatch(0, 1)] == [2]
+        assert plan.for_dispatch(2, 0) == ()
+
+    def test_default_attempt_vanishes_on_retry(self):
+        plan = FaultPlan((FaultSpec("crash", rank=0, step=0),))
+        assert plan.for_dispatch(0, 0)
+        assert not plan.for_dispatch(0, 1)
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan((
+            FaultSpec("stall", rank=1, step=3, seconds=0.5, wave=2),
+            FaultSpec("crash", rank=0, step=0, exitcode=99),
+        ))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_bool_and_len(self):
+        assert not FaultPlan()
+        assert len(FaultPlan((FaultSpec("crash", rank=0, step=0),))) == 1
+
+
+class TestParseFaultPlan:
+    def test_inline_single(self):
+        plan = parse_fault_plan("crash:rank=1,step=2")
+        assert plan.specs == (FaultSpec("crash", rank=1, step=2),)
+
+    def test_inline_multi_with_aliases(self):
+        plan = parse_fault_plan(
+            "stall:rank=0,step=1,secs=0.25;work:rank=1,step=0,ops=5e4"
+        )
+        assert plan.specs[0].seconds == 0.25
+        assert plan.specs[1].ops == 5e4
+
+    def test_inline_scoping_fields(self):
+        (s,) = parse_fault_plan("crash:rank=0,step=0,wave=2,attempt=1").specs
+        assert (s.wave, s.attempt) == (2, 1)
+
+    def test_json_string(self):
+        text = json.dumps(
+            {"faults": [{"kind": "drop", "rank": 1, "step": 4}]})
+        assert parse_fault_plan(text).specs == (
+            FaultSpec("drop", rank=1, step=4),)
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan((FaultSpec("crash", rank=3, step=1),))
+        path.write_text(plan.to_json())
+        assert parse_fault_plan(str(path)) == plan
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "crash", "crash:", "crash:rank=1", "crash:step=1",
+        "crash:rank=x,step=1", "crash:rank=1,step=1,nope=2",
+        '{"nope": []}',
+    ])
+    def test_bad_plans_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_plan(bad)
+
+
+class TestFaultInjector:
+    def test_filters_by_rank_and_indexes_by_step(self):
+        specs = (
+            FaultSpec("crash", rank=1, step=2),
+            FaultSpec("work", rank=1, step=0, ops=10.0),
+            FaultSpec("crash", rank=0, step=2),
+        )
+        inj = FaultInjector(specs, rank=1)
+        assert inj.active
+        assert [s.kind for s in inj.at(0)] == ["work"]
+        assert [s.kind for s in inj.at(2)] == ["crash"]
+        assert inj.at(1) == []
+
+    def test_inactive_for_other_ranks(self):
+        inj = FaultInjector((FaultSpec("crash", rank=0, step=0),), rank=5)
+        assert not inj.active
+        assert inj.at(0) == []
+
+    def test_empty_specs(self):
+        assert not FaultInjector((), rank=0).active

@@ -1,0 +1,99 @@
+"""End-to-end determinism: fault-free, crash+retry, and resume-halfway
+scheduler runs produce bit-identical cut values and ledger fingerprints,
+on both the simulator and the multiprocess backend."""
+
+import pytest
+
+from tests.conftest import require_mp
+from repro.faults import parse_fault_plan
+from repro.sched import TrialScheduler
+
+SEED = 7
+TRIALS = 6
+P = 2
+
+CRASH = "crash:rank=1,step=1"
+ABANDON_WAVE_1 = (
+    "crash:rank=0,step=0,wave=1,attempt=0;"
+    "crash:rank=0,step=0,wave=1,attempt=1;"
+    "crash:rank=0,step=0,wave=1,attempt=2"
+)
+
+
+def run_clean(g, backend):
+    return TrialScheduler().run(g, P, backend=backend, seed=SEED,
+                                trials=TRIALS)
+
+
+def run_crash_retry(g, backend):
+    sched = TrialScheduler(fault_plan=parse_fault_plan(CRASH), backoff_s=0.0)
+    return sched.run(g, P, backend=backend, seed=SEED, trials=TRIALS)
+
+
+def run_resume_halfway(g, backend, tmp_path):
+    ck = str(tmp_path / "ledger.jsonl")
+    TrialScheduler(
+        wave_size=3, checkpoint=ck, backoff_s=0.0, on_failure="continue",
+        fault_plan=parse_fault_plan(ABANDON_WAVE_1),
+    ).run(g, P, backend=backend, seed=SEED, trials=TRIALS)
+    return TrialScheduler(wave_size=3, checkpoint=ck).run(
+        g, P, backend=backend, seed=SEED, trials=TRIALS, resume=True)
+
+
+class TestSimScenarios:
+    def test_crash_retry_matches_fault_free(self, bridge_graph):
+        clean = run_clean(bridge_graph, "sim")
+        faulty = run_crash_retry(bridge_graph, "sim")
+        assert faulty.retries == 1
+        assert faulty.value == clean.value == 2.0
+        assert faulty.ledger.fingerprint() == clean.ledger.fingerprint()
+
+    def test_resume_halfway_matches_fault_free(self, bridge_graph, tmp_path):
+        clean = run_clean(bridge_graph, "sim")
+        resumed = run_resume_halfway(bridge_graph, "sim", tmp_path)
+        assert resumed.completed == TRIALS
+        assert resumed.value == clean.value
+        assert resumed.ledger.fingerprint() == clean.ledger.fingerprint()
+
+    def test_repeated_runs_identical(self, bridge_graph):
+        a = run_clean(bridge_graph, "sim")
+        b = run_clean(bridge_graph, "sim")
+        assert a.ledger.fingerprint() == b.ledger.fingerprint()
+
+
+class TestMpScenarios:
+    def test_fault_free_matches_sim(self, bridge_graph):
+        require_mp()
+        sim = run_clean(bridge_graph, "sim")
+        mp = run_clean(bridge_graph, "mp")
+        assert mp.value == sim.value
+        assert mp.ledger.fingerprint() == sim.ledger.fingerprint()
+
+    def test_crash_retry_matches_fault_free(self, bridge_graph):
+        require_mp()
+        clean = run_clean(bridge_graph, "mp")
+        faulty = run_crash_retry(bridge_graph, "mp")
+        assert faulty.retries == 1
+        assert faulty.ledger.fingerprint() == clean.ledger.fingerprint()
+
+    def test_resume_halfway_matches_fault_free(self, bridge_graph, tmp_path):
+        require_mp()
+        clean = run_clean(bridge_graph, "mp")
+        resumed = run_resume_halfway(bridge_graph, "mp", tmp_path)
+        assert resumed.completed == TRIALS
+        assert resumed.ledger.fingerprint() == clean.ledger.fingerprint()
+
+    def test_sim_checkpoint_finishable_on_mp(self, bridge_graph, tmp_path):
+        """A ledger checkpointed under sim resumes cleanly under mp —
+        per-trial streams are keyed by global trial id, not by backend."""
+        require_mp()
+        ck = str(tmp_path / "ledger.jsonl")
+        TrialScheduler(
+            wave_size=3, checkpoint=ck, backoff_s=0.0, on_failure="continue",
+            fault_plan=parse_fault_plan(ABANDON_WAVE_1),
+        ).run(bridge_graph, P, backend="sim", seed=SEED, trials=TRIALS)
+        resumed = TrialScheduler(wave_size=3, checkpoint=ck).run(
+            bridge_graph, P, backend="mp", seed=SEED, trials=TRIALS,
+            resume=True)
+        clean = run_clean(bridge_graph, "sim")
+        assert resumed.ledger.fingerprint() == clean.ledger.fingerprint()

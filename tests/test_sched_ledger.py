@@ -1,0 +1,160 @@
+"""Tests for the trial ledger: lifecycle, fold, checkpoint, fingerprint."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.sched import TrialLedger, decode_side, encode_side
+from repro.sched.ledger import LEDGER_MAGIC
+
+
+def _side(bits):
+    return np.array(bits, dtype=bool)
+
+
+class TestSideCodec:
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 64, 65])
+    def test_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        side = rng.random(n) < 0.5
+        assert np.array_equal(decode_side(encode_side(side), n), side)
+
+    def test_encoding_is_canonical_text(self):
+        assert encode_side(_side([1, 0, 0, 0, 0, 0, 0, 0])) == "80"
+
+
+class TestLifecycle:
+    def test_new_ledger_all_pending(self):
+        led = TrialLedger(4, n=10, m=20, seed=1)
+        assert led.pending_ids() == [0, 1, 2, 3]
+        assert led.completed == 0
+
+    def test_running_and_failed_count_as_pending(self):
+        led = TrialLedger(3, n=10, m=20, seed=1)
+        led.mark_running([0], wave=0)
+        led.mark_failed([1])
+        led.record_done(2, 5.0, _side([1] * 10))
+        assert led.pending_ids() == [0, 1]
+        assert led.completed == 1
+
+    def test_attempts_accumulate(self):
+        led = TrialLedger(1, n=4, m=4, seed=0)
+        led.mark_running([0], wave=0)
+        led.mark_pending([0])
+        led.mark_running([0], wave=0)
+        assert led.records[0].attempts == 2
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            TrialLedger(0, n=4, m=4, seed=0)
+
+
+class TestBestFold:
+    def test_minimum_in_trial_order(self):
+        led = TrialLedger(3, n=4, m=4, seed=0)
+        led.record_done(0, 5.0, _side([1, 0, 0, 0]))
+        led.record_done(1, 2.0, _side([0, 1, 0, 0]))
+        led.record_done(2, 9.0, _side([0, 0, 1, 0]))
+        value, side = led.best()
+        assert value == 2.0
+        assert np.array_equal(side, _side([0, 1, 0, 0]))
+
+    def test_ties_keep_lowest_trial_id(self):
+        led = TrialLedger(2, n=4, m=4, seed=0)
+        led.record_done(1, 2.0, _side([0, 1, 0, 0]))
+        led.record_done(0, 2.0, _side([0, 0, 1, 0]))
+        _, side = led.best()
+        assert np.array_equal(side, _side([0, 0, 1, 0]))
+
+    def test_empty_ledger_best(self):
+        value, side = TrialLedger(2, n=4, m=4, seed=0).best()
+        assert value == math.inf and side is None
+
+
+class TestMinCutSides:
+    def test_union_over_min_value_trials(self):
+        led = TrialLedger(3, n=4, m=4, seed=0)
+        a, b = _side([0, 1, 0, 0]), _side([0, 0, 1, 0])
+        led.record_done(0, 2.0, a, sides=[a])
+        led.record_done(1, 2.0, b, sides=[b, a])
+        led.record_done(2, 7.0, _side([0, 0, 0, 1]),
+                        sides=[_side([0, 0, 0, 1])])
+        sides = led.min_cut_sides()
+        assert len(sides) == 2  # a and b, deduplicated; trial 2 excluded
+
+    def test_complement_counts_once(self):
+        led = TrialLedger(2, n=4, m=4, seed=0)
+        a = _side([0, 1, 0, 0])
+        led.record_done(0, 2.0, a, sides=[a])
+        led.record_done(1, 2.0, ~a, sides=[~a])
+        assert len(led.min_cut_sides()) == 1
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        led = TrialLedger(3, n=6, m=9, seed=42)
+        led.record_done(1, 3.5, _side([0, 1, 1, 0, 0, 0]))
+        led.mark_running([2], wave=1)
+        led.save(path)
+        again = TrialLedger.load(path)
+        assert again.matches(trials=3, n=6, m=9, seed=42)
+        assert again.fingerprint() == led.fingerprint()
+        assert again.records[1].value == 3.5
+        assert again.pending_ids() == [0, 2]
+
+    def test_header_is_first_line(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        TrialLedger(1, n=2, m=1, seed=0).save(path)
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["kind"] == LEDGER_MAGIC
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "other"}\n')
+        with pytest.raises(ValueError, match="not a trial-ledger"):
+            TrialLedger.load(str(path))
+
+    def test_missing_records_rejected(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        led = TrialLedger(3, n=2, m=1, seed=0)
+        del led.records[1]
+        led.save(path)
+        with pytest.raises(ValueError, match="missing trial record"):
+            TrialLedger.load(path)
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        led = TrialLedger(2, n=2, m=1, seed=0)
+        led.save(path)
+        led.record_done(0, 1.0, _side([0, 1]))
+        led.save(path)  # overwrites via tmp + rename
+        assert TrialLedger.load(path).completed == 1
+        assert list(tmp_path.iterdir()) == [tmp_path / "ledger.jsonl"]
+
+
+class TestFingerprint:
+    def test_excludes_attempts_and_wave(self):
+        a = TrialLedger(2, n=4, m=4, seed=0)
+        b = TrialLedger(2, n=4, m=4, seed=0)
+        for led, times in ((a, 1), (b, 3)):
+            for _ in range(times):
+                led.mark_running([0, 1], wave=times)
+                led.mark_pending([0, 1])
+            led.record_done(0, 1.0, _side([0, 1, 0, 0]))
+            led.record_done(1, 2.0, _side([0, 0, 1, 0]))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_results(self):
+        a = TrialLedger(1, n=4, m=4, seed=0)
+        b = TrialLedger(1, n=4, m=4, seed=0)
+        a.record_done(0, 1.0, _side([0, 1, 0, 0]))
+        b.record_done(0, 2.0, _side([0, 1, 0, 0]))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_sensitive_to_identity(self):
+        assert (TrialLedger(1, n=4, m=4, seed=0).fingerprint()
+                != TrialLedger(1, n=4, m=4, seed=1).fingerprint())
