@@ -27,6 +27,11 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   crash-recovery run must retry exactly once and reproduce the
   fault-free ledger fingerprint bit-for-bit, and the predicted
   (analytic-model) overhead with injection off must stay under 2%.
+* **2-out fingerprints** — the random 2-out contraction preprocessing's
+  deterministic headline numbers from :mod:`benchmarks.bench_two_out`:
+  exact cut values and trial counts (contracted sizes, planned and
+  dispatched trials against the default budget), the exactness flags,
+  and the >= 3x dispatched-trial reduction floor on the dense workload.
 
 Usage::
 
@@ -50,6 +55,8 @@ from bench_faults import run_benchmarks as run_fault_benchmarks
 from bench_kernels import run_benchmarks
 from bench_transport import ALLOC_REDUCTION_FLOOR
 from bench_transport import run_benchmarks as run_transport_benchmarks
+from bench_two_out import REDUCTION_FLOOR
+from bench_two_out import run_benchmarks as run_two_out_benchmarks
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 BASELINE_PATH = RESULTS_DIR / "perf_baseline.json"
@@ -132,6 +139,25 @@ def sched_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
     }
 
 
+def two_out_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
+    """Deterministic 2-out-gate fields from bench_two_out."""
+    r = run_two_out_benchmarks(scale=scale, seed=seed)
+    d = r["dense"]
+    return {
+        "dense_value": d["value"],
+        "contracted_n": d["contracted_n"],
+        "planned_trials": d["planned_trials"],
+        "dispatched_trials": d["dispatched_trials"],
+        "default_trials": d["default_trials"],
+        "reduction": d["reduction"],
+        "values_match": r["values_match"],
+        "small_truth_match": r["small_truth_match"],
+        "degrade_honest": r["degrade_honest"],
+        "zoo_values_match": r["zoo_values_match"],
+        "reduction_ok": r["reduction_ok"],
+    }
+
+
 def measure(scale: float = 1.0, seed: int = 0) -> dict:
     """Run all baseline sections and return the combined record."""
     return {
@@ -139,6 +165,7 @@ def measure(scale: float = 1.0, seed: int = 0) -> dict:
         "timings": run_benchmarks(scale=scale, seed=seed),
         "transport": transport_fingerprints(scale=scale, seed=seed),
         "sched": sched_fingerprints(scale=scale, seed=seed),
+        "two_out": two_out_fingerprints(scale=scale, seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -253,6 +280,35 @@ def _check_sched(base: dict | None, now: dict, lines: list[str]) -> bool:
     return ok
 
 
+def _check_two_out(base: dict | None, now: dict, lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  two_out: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    # Exact drift checks: the preprocessing is replicated deterministic
+    # compute, so contracted sizes and trial counts moving means the
+    # contraction trajectories changed.
+    for key in ("dense_value", "contracted_n", "planned_trials",
+                "dispatched_trials", "default_trials"):
+        if base[key] != now[key]:
+            ok = False
+            lines.append(f"  two_out.{key}: baseline={base[key]!r} "
+                         f"current={now[key]!r}")
+    # Acceptance bars, re-proved on every run.
+    for flag in ("values_match", "small_truth_match", "degrade_honest",
+                 "zoo_values_match"):
+        if not now[flag]:
+            ok = False
+            lines.append(f"  two_out.{flag}: False")
+    if now["reduction"] < REDUCTION_FLOOR:
+        ok = False
+        lines.append(
+            f"  two_out.reduction: {now['reduction']:.1f}x is under the "
+            f"{REDUCTION_FLOOR:g}x dispatched-trial floor")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -266,7 +322,8 @@ def check(scale: float, seed: int, slack: float) -> int:
     transport_ok = _check_transport(base.get("transport"), now["transport"],
                                     lines)
     sched_ok = _check_sched(base.get("sched"), now["sched"], lines)
-    if counters_ok and timings_ok and transport_ok and sched_ok:
+    two_out_ok = _check_two_out(base.get("two_out"), now["two_out"], lines)
+    if counters_ok and timings_ok and transport_ok and sched_ok and two_out_ok:
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
         segs = ", ".join(
@@ -277,7 +334,8 @@ def check(scale: float, seed: int, slack: float) -> int:
               f"{slack:g}x slack ({speeds}), transport segments exact "
               f"({segs}), scheduler overhead "
               f"{now['sched']['predicted_overhead_pct']:+.3f}% with "
-              f"bit-identical crash recovery")
+              f"bit-identical crash recovery, 2-out trial reduction "
+              f"{now['two_out']['reduction']:.1f}x exact")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

@@ -22,6 +22,7 @@ Usage::
     python -m repro.cli parallel_cc g.txt --procs 4 --backend mp
     python -m repro.cli approx_cut g.txt --procs 8 --seed 1
     python -m repro.cli square_root g.txt --procs 8 --seed 1 --trial-scale 0.1
+    python -m repro.cli square_root g.txt --procs 8 --seed 1 --variant 2out
     python -m repro.cli square_root g.txt --procs 4 --backend mp \
         --max-retries 3 --checkpoint ledger.jsonl \
         --inject-faults crash:rank=1,step=1
@@ -31,6 +32,12 @@ any of ``--max-retries``, ``--retry-backoff``, ``--checkpoint``,
 ``--resume`` or ``--inject-faults`` dispatches the Monte-Carlo trials
 through the retrying, checkpointable dispatch loop and reports the
 achieved success probability next to the profile line.
+
+``--variant 2out`` (``repro.core.two_out``) runs the random 2-out
+contraction preprocessing first and dispatches the recomputed — usually
+far smaller — trial budget on the contracted replicas, printing a
+``two_out:`` summary line; it degrades to the default pipeline whenever
+the preprocessing buys nothing.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ import os
 import sys
 
 from repro.core import approx_minimum_cut, connected_components, minimum_cut
+from repro.core.mincut import VARIANTS
 from repro.graph import (
     barabasi_albert,
     erdos_renyi,
@@ -142,11 +150,21 @@ def _cmd_square_root(args) -> int:
         g, p=args.procs, seed=args.seed,
         success_prob=args.success_prob, trial_scale=args.trial_scale,
         trials=args.trials, backend=_backend_spec(args),
-        scheduler=scheduler, resume=args.resume,
+        scheduler=scheduler, resume=args.resume, variant=args.variant,
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "square_root", f"{res.value:g}"))
-    if scheduler is not None:
+    if args.variant == "2out":
+        s = res.two_out
+        path = ("degraded to the default pipeline" if s.degraded else
+                f"{s.total_trials} trials over {s.replicas} replicas")
+        print(
+            f"two_out: {path}, default budget {s.default_trials}, "
+            f"reduction {s.reduction:.2f}x, achieved success probability "
+            f"{res.achieved_success_prob:.6f} "
+            f"(requested {args.success_prob:g})"
+        )
+    if scheduler is not None and res.ledger is not None:
         ledger = res.ledger
         print(
             f"scheduler: {ledger.completed}/{res.trials} trials completed, "
@@ -218,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="override the trial count")
     sp.add_argument("--trial-scale", type=float, default=1.0,
                     help="scale the Theta((n^2/m) log^2 n) trial count")
+    sp.add_argument("--variant", choices=VARIANTS, default="default",
+                    help="trial pipeline: 'default' dispatches the full "
+                         "budget on the input graph; '2out' preprocesses "
+                         "with random 2-out contraction replicas and "
+                         "recomputes the (much smaller) budget on the "
+                         "contracted graphs")
     sp.add_argument("--max-retries", type=int, default=None,
                     help="fault-tolerant scheduler: retries per trial wave "
                          "(giving any scheduler flag engages the scheduler; "
@@ -274,6 +298,14 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         parser.error(f"--retry-backoff must be >= 0, got {retry_backoff}")
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         parser.error("--resume requires --checkpoint")
+    if getattr(args, "variant", None) == "2out":
+        if trials is not None:
+            parser.error("--variant 2out recomputes the trial budget from "
+                         "the contracted graphs; --trials is not supported")
+        if getattr(args, "checkpoint", None) or getattr(args, "resume", False):
+            parser.error("--variant 2out does not support --checkpoint/"
+                         "--resume: one trial ledger cannot span the "
+                         "per-replica dispatches")
     inject = getattr(args, "inject_faults", None)
     if inject:
         from repro.faults import parse_fault_plan

@@ -20,6 +20,14 @@ from repro.core.mincut import (
     MinCutsResult,
 )
 from repro.core.trials import num_trials, eager_survival_probability
+from repro.core.two_out import (
+    TwoOutPlan,
+    TwoOutSummary,
+    plan_two_out,
+    replica_count,
+    singleton_cut,
+    two_out_minimum_cut,
+)
 from repro.core.sparsify import sparsify_weighted, sparsify_unweighted
 from repro.core.preprocess import contract_heavy_edges, min_weighted_degree
 from repro.core.spanning_forest import minimum_spanning_forest, MSFResult
@@ -43,6 +51,12 @@ __all__ = [
     "MinCutsResult",
     "num_trials",
     "eager_survival_probability",
+    "TwoOutPlan",
+    "TwoOutSummary",
+    "plan_two_out",
+    "replica_count",
+    "singleton_cut",
+    "two_out_minimum_cut",
     "sparsify_weighted",
     "sparsify_unweighted",
     "contract_heavy_edges",

@@ -3,6 +3,10 @@
 *Prefix Selection* finds the longest prefix of a randomly permuted edge
 sample whose contraction leaves at least ``t`` connected components
 (incremental union-find at the root, exactly where the paper computes it).
+Besides the Eager Step, the same kernel clamps the random 2-out
+contraction (:mod:`repro.core.two_out`): unioning the 2-out sample with
+``t = 2`` contracts exactly its components without ever collapsing a
+replica to a single vertex.
 
 *Sparse bulk edge contraction* (distributed edge array): relabel locally,
 globally sort edges by endpoints, combine parallel edges locally, then fix

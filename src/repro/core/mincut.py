@@ -60,6 +60,7 @@ from repro.runtime.base import Backend, resolve_backend
 from repro.rng.streams import RngStreams
 
 __all__ = [
+    "VARIANTS",
     "minimum_cut",
     "minimum_cuts",
     "minimum_cut_sequential",
@@ -535,6 +536,15 @@ class MinCutResult:
     #: Scheduled runs: the per-trial ledger
     #: (:class:`~repro.sched.ledger.TrialLedger`); None otherwise.
     ledger: Any = None
+    #: Which trial pipeline produced the result: ``"default"`` or
+    #: ``"2out"`` (the GNT random 2-out contraction preprocessing).
+    variant: str = "default"
+    #: 2-out runs: the preprocessing/budget summary
+    #: (:class:`~repro.core.two_out.TwoOutSummary`); None otherwise.
+    two_out: Any = None
+
+
+VARIANTS = ("default", "2out")
 
 
 def minimum_cut(
@@ -546,6 +556,7 @@ def minimum_cut(
     trials: int | None = None,
     trial_scale: float = 1.0,
     preprocess: bool = False,
+    variant: str = "default",
     engine: Engine | None = None,
     backend: str | Backend | None = None,
     scheduler: "Any | None" = None,
@@ -561,6 +572,14 @@ def minimum_cut(
     ``p``).  ``backend`` selects the runtime (``"sim"``/``"mp"``/
     instance); results are backend-independent for a fixed ``seed``.
 
+    ``variant="2out"`` runs the GNT random 2-out contraction
+    preprocessing first (:mod:`repro.core.two_out`) and dispatches the
+    much smaller recomputed trial budgets of the contracted replicas —
+    same exactness guarantee, with automatic degradation to the default
+    pipeline when the preprocessing buys nothing.  It recomputes budgets
+    itself, so it rejects a ``trials`` override, ``resume`` and
+    checkpointing schedulers.
+
     ``scheduler`` — a :class:`~repro.sched.scheduler.TrialScheduler` —
     routes the trials through the fault-tolerant dispatch loop instead of
     the monolithic program: retries, checkpoint/resume (``resume=True``
@@ -570,8 +589,20 @@ def minimum_cut(
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}: expected one of "
+                         f"{VARIANTS}")
     if resume and scheduler is None:
         raise ValueError("resume=True requires a scheduler")
+    if variant == "2out":
+        if trials is not None:
+            raise ValueError(
+                "variant='2out' recomputes the trial budget from the "
+                "contracted replicas; a trials override would be ignored")
+        if resume:
+            raise ValueError(
+                "variant='2out' does not support resume: one checkpoint "
+                "cannot span the per-replica dispatches")
     runtime = resolve_backend(backend, engine=engine)
     lift = None
     if preprocess:
@@ -582,6 +613,18 @@ def minimum_cut(
             lift = None
         else:
             g = h
+    if variant == "2out":
+        from dataclasses import replace
+
+        from repro.core.two_out import two_out_minimum_cut
+
+        res = two_out_minimum_cut(
+            g, p, seed=seed, success_prob=success_prob,
+            trial_scale=trial_scale, scheduler=scheduler, backend=runtime,
+        )
+        if lift is not None and res.side is not None:
+            res = replace(res, side=res.side[lift])
+        return res
     if scheduler is not None:
         sres = scheduler.run(
             g, p, backend=runtime, seed=seed, success_prob=success_prob,

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.rng.sampling import CumulativeWeightSampler, multinomial_split
 
-__all__ = ["sparsify_weighted", "sparsify_unweighted"]
+__all__ = ["cached_sampler", "sparsify_weighted", "sparsify_unweighted"]
 
 #: Per-slice sampler cache: ``id(w) -> (weakref(w), sampler)``.  Iterated
 #: sampling calls :func:`sparsify_weighted` repeatedly on the *same* weight
@@ -46,7 +46,13 @@ _SAMPLER_CACHE: dict[int, tuple] = {}
 _SAMPLER_CACHE_MAX = 64
 
 
-def _cached_sampler(w: np.ndarray) -> CumulativeWeightSampler:
+def cached_sampler(w: np.ndarray) -> CumulativeWeightSampler:
+    """Memoized :class:`CumulativeWeightSampler` over the array ``w``.
+
+    Shared by weighted sparsification and the 2-out preprocessing (which
+    resamples the same incidence-weight array once per replica and
+    round); both hit the same identity-keyed cache.
+    """
     key = id(w)
     entry = _SAMPLER_CACHE.get(key)
     if entry is not None and entry[0]() is w:
@@ -58,6 +64,10 @@ def _cached_sampler(w: np.ndarray) -> CumulativeWeightSampler:
         _SAMPLER_CACHE.pop(next(iter(_SAMPLER_CACHE)))
     _SAMPLER_CACHE[key] = (weakref.ref(w), sampler)
     return sampler
+
+
+#: Backward-compatible private alias (pre-2-out callers).
+_cached_sampler = cached_sampler
 
 
 def sparsify_weighted(ctx, comm, u, v, w, s, *, root=0):

@@ -11,6 +11,12 @@ paper's Theta((n^2/m) log^2 n) for constant P boosted to w.h.p.
 
 The artifact runs all experiments at minimum success probability 0.9; we
 default to the same.
+
+The same bound prices the ``variant="2out"`` pipeline
+(:mod:`repro.core.two_out`): each 2-out contraction replica calls
+:func:`num_trials` with its *contracted* ``n'``, ``m'`` at the
+conditional per-replica target, which is where the dense-graph trial
+reduction comes from — the bound is quadratic in ``n``.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from repro.graph.generators import (
     barabasi_albert,
     rmat,
     grid_graph,
+    clustered_er,
     ring_of_cliques,
     two_cliques_bridge,
     weighted_cycle,
@@ -47,6 +48,7 @@ __all__ = [
     "barabasi_albert",
     "rmat",
     "grid_graph",
+    "clustered_er",
     "ring_of_cliques",
     "two_cliques_bridge",
     "weighted_cycle",

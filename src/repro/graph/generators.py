@@ -29,6 +29,7 @@ __all__ = [
     "barabasi_albert",
     "rmat",
     "grid_graph",
+    "clustered_er",
     "ring_of_cliques",
     "two_cliques_bridge",
     "weighted_cycle",
@@ -282,6 +283,56 @@ def ring_of_cliques(cliques: int, k: int) -> EdgeList:
     u = np.concatenate(us + [link_u])
     v = np.concatenate(vs + [link_v])
     return EdgeList(cliques * k, u.astype(np.int64), v.astype(np.int64))
+
+
+def clustered_er(
+    n: int,
+    degree: int,
+    rng: np.random.Generator,
+    *,
+    clusters: int = 2,
+    bridges: int = 4,
+    bridge_weight: float = 1.0,
+    weighted: bool = True,
+) -> EdgeList:
+    """Dense Erdős–Rényi clusters joined in a path by a few light edges.
+
+    ``clusters`` near-equal G(n/c, M) blocks of average ``degree``;
+    consecutive blocks are linked by ``bridges`` random edges of weight
+    ``bridge_weight``.  The planted minimum cut is a bridge group —
+    ``bridges * bridge_weight`` — whenever the blocks are internally far
+    better connected than that (``degree >> bridges * bridge_weight``
+    makes this overwhelmingly likely).  This is the dense-but-sparsely-cut
+    regime where 2-out contraction (:mod:`repro.core.two_out`) shines:
+    ``n^2/m`` is large, so the default trial budget is huge, while the
+    sampled subgraph splits along the planted cut.
+    """
+    if clusters < 2:
+        raise ValueError("need at least 2 clusters")
+    if n < 2 * clusters:
+        raise ValueError("need at least 2 vertices per cluster")
+    if bridges < 1:
+        raise ValueError("need at least one bridge per link")
+    bounds = np.linspace(0, n, clusters + 1).astype(np.int64)
+    us, vs, ws = [], [], []
+    for c in range(clusters):
+        lo, hi = int(bounds[c]), int(bounds[c + 1])
+        size = hi - lo
+        block = erdos_renyi(size, size * degree // 2, rng, weighted=weighted)
+        us.append(block.u + lo)
+        vs.append(block.v + lo)
+        ws.append(block.w)
+        if c + 1 < clusters:
+            nxt = int(bounds[c + 2])
+            us.append(rng.integers(lo, hi, size=bridges))
+            vs.append(rng.integers(hi, nxt, size=bridges))
+            ws.append(np.full(bridges, bridge_weight))
+    return EdgeList(
+        n,
+        np.concatenate(us).astype(np.int64),
+        np.concatenate(vs).astype(np.int64),
+        np.concatenate(ws),
+    )
 
 
 class VerificationCase(NamedTuple):

@@ -31,7 +31,10 @@ def run_algorithm(algorithm: str, g, *, p: int = 4, seed: int = 0,
     ``algorithm`` is an artifact executable tag: ``"parallel_cc"``,
     ``"approx_cut"`` or ``"square_root"``.  ``backend`` is ``"sim"``
     (default), ``"mp"``, or a :class:`~repro.runtime.base.Backend`
-    instance; extra ``kwargs`` flow to the algorithm's entry point.
+    instance; extra ``kwargs`` flow to the algorithm's entry point —
+    e.g. ``variant="2out"`` routes ``"square_root"`` through the random
+    2-out contraction preprocessing (:mod:`repro.core.two_out`), and
+    ``trial_scale=`` rescales its Monte-Carlo budget.
     ``tracer`` attaches a :class:`~repro.trace.tracer.Tracer` (e.g. a
     ``RecordingTracer``) to a fresh backend of the requested kind; the
     result object then carries the run's per-superstep trace.

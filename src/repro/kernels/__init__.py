@@ -13,6 +13,9 @@ side for differential testing:
 * :mod:`repro.kernels.contract` — bulk edge contraction over packed 64-bit
   endpoint keys (relabel via ``np.take``, self-loop mask, parallel-edge
   aggregation);
+* :mod:`repro.kernels.twosample` — the per-vertex weighted two-out edge
+  sampler of the GNT contraction preprocessing (one batched
+  ``searchsorted`` over a shared incidence prefix-sum);
 * :mod:`repro.kernels.reference` — the original pure-Python loops, preserved
   verbatim as ``slow=`` references.
 
@@ -42,7 +45,9 @@ from repro.kernels.reference import (
     scalar_bulk_contract,
     scalar_cc_roots,
     scalar_prefix_select,
+    scalar_two_out_sample,
 )
+from repro.kernels.twosample import two_out_sample, vertex_incidence
 from repro.kernels.unionfind import (
     cc_labels,
     cc_roots,
@@ -65,6 +70,9 @@ __all__ = [
     "scalar_bulk_contract",
     "scalar_cc_roots",
     "scalar_prefix_select",
+    "scalar_two_out_sample",
     "stable_sort_with_order",
+    "two_out_sample",
     "unpack_edge_keys",
+    "vertex_incidence",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "scalar_cc_roots",
     "scalar_prefix_select",
     "scalar_bulk_contract",
+    "scalar_two_out_sample",
 ]
 
 
@@ -109,3 +110,54 @@ def scalar_bulk_contract(
     out_u = keys // nn if keys.size else keys
     out_v = keys % nn if keys.size else keys
     return out_u.astype(np.int64), out_v.astype(np.int64), out_w
+
+
+def scalar_two_out_sample(
+    n: int, u: np.ndarray, v: np.ndarray, w: np.ndarray, draws: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference loop for :func:`repro.kernels.twosample.two_out_sample`.
+
+    ``draws`` is the flat batch of ``2 n`` uniforms the fast path consumes
+    (the caller draws it, so both paths share one RNG contract: slots
+    ``2x`` and ``2x + 1`` belong to vertex ``x``).  For each vertex the
+    incidence list is walked in the fast path's order — u-side entries in
+    edge order, then v-side entries in edge order — a running prefix-sum
+    over the incident weights is accumulated in that same order, and each
+    draw is resolved by ``bisect_right`` over the prefix-sums, which is
+    exactly ``np.searchsorted(..., side="right")``.  Every float operation
+    mirrors the vectorized path one for one, so the outputs (and the
+    round-off clamp) are byte-identical.
+    """
+    from bisect import bisect_right
+
+    inc: list[list[int]] = [[] for _ in range(n)]
+    for e, a in enumerate(u.tolist()):
+        inc[a].append(e)
+    for e, b in enumerate(v.tolist()):
+        inc[b].append(e)
+
+    # Global prefix-sum over the incidence-ordered weights, accumulated
+    # left to right exactly like ``np.cumsum`` does.
+    cum: list[float] = []
+    starts = [0]
+    total = 0.0
+    for x in range(n):
+        for e in inc[x]:
+            total = total + float(w[e])
+            cum.append(total)
+        starts.append(len(cum))
+
+    e1 = np.full(n, -1, dtype=np.int64)
+    e2 = np.full(n, -1, dtype=np.int64)
+    for x in range(n):
+        lo, hi = starts[x], starts[x + 1]
+        if lo == hi:
+            continue  # isolated vertex: its two draws are discarded
+        base = cum[lo - 1] if lo > 0 else 0.0
+        top = cum[hi - 1]
+        for slot, out in ((2 * x, e1), (2 * x + 1, e2)):
+            target = base + float(draws[slot]) * (top - base)
+            idx = bisect_right(cum, target)
+            idx = min(max(idx, lo), hi - 1)
+            out[x] = inc[x][idx - lo]
+    return e1, e2

@@ -53,6 +53,36 @@ class CumulativeWeightSampler:
         u = rng.random(k) * self.total
         return np.searchsorted(self._cumulative, u, side="right").astype(np.int64)
 
+    def sample_in_segments(
+        self, draws: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Map uniform draws onto weighted choices inside index segments.
+
+        ``lo``/``hi`` give, per draw, a non-empty half-open slot range
+        ``[lo, hi)`` of this sampler's weight vector; each draw in
+        ``[0, 1)`` selects one slot of its range with probability
+        proportional to the slot weights (the conditional distribution of
+        :meth:`sample` given the range).  One ``searchsorted`` over the
+        shared prefix-sum serves every segment, so the per-vertex two-out
+        sampler can draw all vertices' choices in a single call.
+        """
+        draws = np.asarray(draws, dtype=np.float64)
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        if not (draws.shape == lo.shape == hi.shape):
+            raise ValueError("draws, lo and hi must have matching shapes")
+        if np.any(lo >= hi):
+            raise ValueError("every segment must be non-empty (lo < hi)")
+        if lo.size and (lo.min() < 0 or hi.max() > self._cumulative.size):
+            raise ValueError("segment bounds out of range")
+        cum = self._cumulative
+        base = np.where(lo > 0, cum[lo - 1], 0.0)
+        targets = base + draws * (cum[hi - 1] - base)
+        idx = np.searchsorted(cum, targets, side="right").astype(np.int64)
+        # Float round-off can land a target exactly on (or past) the
+        # segment's final cumulative value; clamp into the half-open range.
+        return np.clip(idx, lo, hi - 1)
+
 
 class AliasSampler:
     """Walker's alias method: O(n) preprocessing, O(1) per sample.

@@ -31,6 +31,7 @@ from repro.sched.scheduler import (
     ScheduledMinCut,
     TrialScheduler,
     detect_stragglers,
+    merge_reports,
     split_trace,
     wait_by_rank,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "ScheduledMinCut",
     "SCHED_DISPATCH",
     "SCHED_RETRY",
+    "merge_reports",
     "split_trace",
     "wait_by_rank",
     "detect_stragglers",

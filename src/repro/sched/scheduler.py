@@ -53,6 +53,7 @@ __all__ = [
     "SCHED_RETRY",
     "ScheduledMinCut",
     "TrialScheduler",
+    "merge_reports",
     "split_trace",
     "wait_by_rank",
     "detect_stragglers",
@@ -133,12 +134,14 @@ def detect_stragglers(
     )
 
 
-def _merge_reports(reports: list[CountersReport]) -> CountersReport:
+def merge_reports(reports: list[CountersReport]) -> CountersReport:
     """Sequential composition of per-dispatch reports (field-wise sums).
 
     Per-dispatch maxima are summed, which upper-bounds the true max of
     the summed per-rank totals; ``p`` is the maximum over dispatches
-    (waves may in principle run at different widths).
+    (waves may in principle run at different widths).  Public because the
+    2-out pipeline composes its preprocessing dispatch with the
+    per-replica trial dispatches the same way.
     """
     return CountersReport(
         p=max(r.p for r in reports),
@@ -413,7 +416,7 @@ class TrialScheduler:
                 "no trial completed: every wave failed and on_failure="
                 "'continue' swallowed the errors"
             )
-        report = (_merge_reports(reports) if reports
+        report = (merge_reports(reports) if reports
                   else CountersReport.from_procs(
                       [ProcCounters() for _ in range(p)]))
         return ScheduledMinCut(

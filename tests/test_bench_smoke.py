@@ -34,6 +34,17 @@ def test_perf_gate_importable():
     assert perf_gate.SPEEDUP_FLOORS["contract"] == 10.0
 
 
+def test_bench_two_out_smoke_small_scale():
+    from benchmarks.bench_two_out import run_benchmarks as run_two_out
+
+    r = run_two_out(scale=0.25, seed=1)
+    assert r["values_match"] and r["small_truth_match"]
+    assert r["degrade_honest"]
+    assert not r["dense"]["degraded"]
+    assert r["dense"]["dispatched_trials"] >= 1
+    assert r["dense"]["reduction"] > 1.0
+
+
 @pytest.mark.perf
 def test_contract_speedup_meets_floor_full_scale():
     """Acceptance bar: >= 10x over the scalar reference on contraction of a
