@@ -1,0 +1,238 @@
+"""Serve-daemon benchmark: warm repeat queries against cold one-shot CLI.
+
+The daemon's whole point is amortization: a one-shot CLI run pays
+interpreter start-up, module imports, graph parsing and (on the mp
+backend) worker-pool spawn on **every** query; the daemon pays them
+once.  This benchmark prices both paths on the same workload and writes
+``results/BENCH_serve.json``:
+
+* ``cold`` — median wall-clock of ``python -m repro.cli <algorithm>``
+  subprocess invocations (the artifact's execution model);
+* ``warm`` — per-query latencies against a live in-process daemon (sim
+  backend, unix socket): the first query (cache miss) separately from
+  the steady-state repeats, with p50/p99 and queries/s.  The min-cut
+  leg runs the 2-out variant, whose random contraction makes replicas
+  tiny — so serving overhead (process start-up, imports, graph load,
+  preprocessing) dominates the query and the daemon's graph and plan
+  caches pay off on every repeat;
+* ``concurrent`` — an open loop of several clients issuing interleaved
+  queries at different priorities: aggregate throughput, per-client
+  p50/p99, and a ``results_match`` flag proving every answer equals the
+  direct :func:`~repro.harness.run_algorithm` result bit for bit.
+
+Acceptance bars (gated in :mod:`benchmarks.perf_gate`):
+
+* ``speedup_ok`` — warm steady-state latency at least
+  :data:`WARM_SPEEDUP_FLOOR` x below the cold one-shot CLI;
+* ``results_match`` — every served answer equals the direct call.
+
+Wall-clock seconds are environment-dependent; the gate checks the flags
+and the deterministic result fields, never raw seconds.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_serve
+    PYTHONPATH=src python -m benchmarks.bench_serve --repeats 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+#: Acceptance bar: cold one-shot latency over warm repeat-query latency.
+WARM_SPEEDUP_FLOOR = 3.0
+
+def _percentiles(samples: list[float]) -> dict:
+    import numpy as np
+
+    xs = np.sort(np.asarray(samples))
+    return {
+        "n": len(xs),
+        "p50_s": float(np.percentile(xs, 50)),
+        "p99_s": float(np.percentile(xs, 99)),
+        "mean_s": float(xs.mean()),
+    }
+
+
+def _cold_runs(graph_path: str, seed: int, repeats: int) -> dict:
+    """One-shot CLI subprocesses: the per-query cost without the daemon."""
+    env = dict(os.environ, PYTHONPATH=str(SRC_DIR))
+    out = {}
+    for algorithm, extra in (("parallel_cc", []),
+                             ("square_root", ["--variant", "2out"])):
+        samples = []
+        for _rep in range(repeats):
+            t0 = time.perf_counter()
+            subprocess.run(
+                [sys.executable, "-m", "repro.cli", algorithm, graph_path,
+                 "--seed", str(seed), *extra],
+                check=True, capture_output=True, env=env)
+            samples.append(time.perf_counter() - t0)
+        out[algorithm] = _percentiles(samples)
+    return out
+
+
+def _warm_runs(client, graph_path: str, seed: int, repeats: int) -> dict:
+    """Repeat queries against a live daemon over one connection."""
+    out = {}
+    for algorithm, extra in (("parallel_cc", {}),
+                             ("square_root", {"variant": "2out"})):
+        t0 = time.perf_counter()
+        first = client.run(algorithm, graph_path, seed=seed, **extra)
+        first_s = time.perf_counter() - t0
+        samples = []
+        for _rep in range(repeats):
+            t0 = time.perf_counter()
+            client.run(algorithm, graph_path, seed=seed, **extra)
+            samples.append(time.perf_counter() - t0)
+        out[algorithm] = {
+            "first_query_s": first_s,     # pays the graph-cache miss
+            **_percentiles(samples),
+            "qps": len(samples) / max(sum(samples), 1e-9),
+            "first_result": first,
+        }
+    return out
+
+
+def _concurrent_runs(address: str, graph_path: str, seed: int,
+                     clients: int, per_client: int) -> dict:
+    """Open loop: several prioritized clients interleaving queries."""
+    from repro.serve import Client
+
+    latencies: dict[str, list[float]] = {}
+    results: dict[str, list] = {}
+
+    def worker(idx: int):
+        name = f"bench{idx}"
+        lat, res = [], []
+        with Client(address, client=name,
+                    priority=float(1 + idx % 2)) as c:
+            for q in range(per_client):
+                t0 = time.perf_counter()
+                res.append(c.run("square_root", graph_path,
+                                 seed=seed + idx * per_client + q,
+                                 variant="2out"))
+                lat.append(time.perf_counter() - t0)
+        latencies[name] = lat
+        results[name] = res
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    every = [x for lat in latencies.values() for x in lat]
+    return {
+        "clients": clients,
+        "queries": clients * per_client,
+        "wall_s": wall,
+        "qps": clients * per_client / max(wall, 1e-9),
+        **_percentiles(every),
+        "per_client": {name: _percentiles(lat)
+                       for name, lat in sorted(latencies.items())},
+        "results": results,
+    }
+
+
+def run_benchmarks(repeats: int = 5, seed: int = 0,
+                   clients: int = 3, per_client: int = 3) -> dict:
+    from repro.graph import erdos_renyi, write_edgelist
+    from repro.harness.experiment import run_algorithm
+    from repro.rng import philox_stream
+    from repro.serve import Client, Daemon, ServeConfig, wait_server
+
+    tmp = tempfile.mkdtemp(prefix="bench_serve_")
+    g = erdos_renyi(120, 600, philox_stream(seed + 17), weighted=True)
+    graph_path = os.path.join(tmp, "bench.edges")
+    write_edgelist(g, graph_path)
+
+    cold = _cold_runs(graph_path, seed, repeats)
+
+    cfg = ServeConfig(bind=os.path.join(tmp, "serve.sock"),
+                      state_dir=os.path.join(tmp, "state"),
+                      backend="sim", p=4, wave_size=16)
+    with Daemon(cfg) as daemon:
+        wait_server(daemon.address)
+        with Client(daemon.address, client="bench") as client:
+            warm = _warm_runs(client, graph_path, seed, repeats)
+        concurrent = _concurrent_runs(daemon.address, graph_path, seed,
+                                      clients, per_client)
+
+    # every served answer must equal the direct call, bit for bit
+    match = True
+    d_cc = run_algorithm("parallel_cc", g, p=4, seed=seed)
+    cc_first = warm["parallel_cc"].pop("first_result")
+    match &= cc_first["n_components"] == d_cc.n_components
+    sq_first = warm["square_root"].pop("first_result")
+    d_sq = run_algorithm("square_root", g, p=4, seed=seed, variant="2out")
+    match &= sq_first["value"] == d_sq.value
+    for idx in range(clients):
+        rs = concurrent["results"][f"bench{idx}"]
+        for q, r in enumerate(rs):
+            solo = run_algorithm("square_root", g, p=4,
+                                 seed=seed + idx * per_client + q,
+                                 variant="2out")
+            match &= r["value"] == solo.value
+    concurrent.pop("results")
+
+    speedups = {
+        algorithm: cold[algorithm]["p50_s"] / max(
+            warm[algorithm]["p50_s"], 1e-9)
+        for algorithm in cold
+    }
+    record = {
+        "workload": {"n": g.n, "m": g.m, "seed": seed,
+                     "repeats": repeats},
+        "cold": cold,
+        "warm": warm,
+        "concurrent": concurrent,
+        "warm_speedup": speedups,
+        "min_warm_speedup": min(speedups.values()),
+        "speedup_ok": min(speedups.values()) >= WARM_SPEEDUP_FLOOR,
+        "results_match": bool(match),
+        "cc_value": int(d_cc.n_components),
+        "sq_value": float(d_sq.value),
+        "speedup_floor": WARM_SPEEDUP_FLOOR,
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--clients", type=int, default=3)
+    ap.add_argument("--per-client", type=int, default=3)
+    ap.add_argument("--out", default=str(RESULTS_DIR / "BENCH_serve.json"))
+    args = ap.parse_args(argv)
+    record = run_benchmarks(repeats=args.repeats, seed=args.seed,
+                            clients=args.clients,
+                            per_client=args.per_client)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True)
+                              + "\n")
+    print(f"bench_serve: cold cc p50 {record['cold']['parallel_cc']['p50_s']:.3f}s, "
+          f"warm p50 {record['warm']['parallel_cc']['p50_s']:.3f}s; "
+          f"min warm speedup {record['min_warm_speedup']:.1f}x "
+          f"(floor {WARM_SPEEDUP_FLOOR:g}x), "
+          f"concurrent {record['concurrent']['qps']:.1f} qps, "
+          f"results_match={record['results_match']} -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,11 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   exact cut values and trial counts (contracted sizes, planned and
   dispatched trials against the default budget), the exactness flags,
   and the >= 3x dispatched-trial reduction floor on the dense workload.
+* **Serve fingerprints** — the :mod:`repro.serve` daemon's acceptance
+  bars from :mod:`benchmarks.bench_serve`: exact headline result values,
+  the served-equals-direct ``results_match`` flag, and the >= 3x
+  warm-repeat-over-cold-one-shot latency floor.  Raw seconds are
+  recorded in ``results/BENCH_serve.json`` but never gated.
 
 Usage::
 
@@ -55,6 +60,8 @@ from bench_faults import run_benchmarks as run_fault_benchmarks
 from bench_kernels import run_benchmarks
 from bench_transport import ALLOC_REDUCTION_FLOOR
 from bench_transport import run_benchmarks as run_transport_benchmarks
+from bench_serve import WARM_SPEEDUP_FLOOR
+from bench_serve import run_benchmarks as run_serve_benchmarks
 from bench_two_out import REDUCTION_FLOOR
 from bench_two_out import run_benchmarks as run_two_out_benchmarks
 
@@ -158,6 +165,18 @@ def two_out_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
     }
 
 
+def serve_fingerprints(seed: int = 0) -> dict:
+    """Deterministic serve-gate fields from bench_serve."""
+    r = run_serve_benchmarks(repeats=3, seed=seed)
+    return {
+        "cc_value": r["cc_value"],
+        "sq_value": r["sq_value"],
+        "min_warm_speedup": r["min_warm_speedup"],
+        "speedup_ok": r["speedup_ok"],
+        "results_match": r["results_match"],
+    }
+
+
 def measure(scale: float = 1.0, seed: int = 0) -> dict:
     """Run all baseline sections and return the combined record."""
     return {
@@ -166,6 +185,7 @@ def measure(scale: float = 1.0, seed: int = 0) -> dict:
         "transport": transport_fingerprints(scale=scale, seed=seed),
         "sched": sched_fingerprints(scale=scale, seed=seed),
         "two_out": two_out_fingerprints(scale=scale, seed=seed),
+        "serve": serve_fingerprints(seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -309,6 +329,33 @@ def _check_two_out(base: dict | None, now: dict, lines: list[str]) -> bool:
     return ok
 
 
+def _check_serve(base: dict | None, now: dict, lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  serve: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    # Exact drift checks: every served answer is validated against the
+    # direct call, so the headline result values moving means the served
+    # algorithms changed.
+    for key in ("cc_value", "sq_value"):
+        if base[key] != now[key]:
+            ok = False
+            lines.append(f"  serve.{key}: baseline={base[key]!r} "
+                         f"current={now[key]!r}")
+    # Acceptance bars, re-proved on every run.
+    if not now["results_match"]:
+        ok = False
+        lines.append("  serve.results_match: served answers differ from "
+                     "direct run_algorithm results")
+    if now["min_warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        ok = False
+        lines.append(
+            f"  serve.min_warm_speedup: {now['min_warm_speedup']:.1f}x is "
+            f"under the {WARM_SPEEDUP_FLOOR:g}x warm-over-cold floor")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -323,7 +370,9 @@ def check(scale: float, seed: int, slack: float) -> int:
                                     lines)
     sched_ok = _check_sched(base.get("sched"), now["sched"], lines)
     two_out_ok = _check_two_out(base.get("two_out"), now["two_out"], lines)
-    if counters_ok and timings_ok and transport_ok and sched_ok and two_out_ok:
+    serve_ok = _check_serve(base.get("serve"), now["serve"], lines)
+    if (counters_ok and timings_ok and transport_ok and sched_ok
+            and two_out_ok and serve_ok):
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
         segs = ", ".join(
@@ -335,7 +384,9 @@ def check(scale: float, seed: int, slack: float) -> int:
               f"({segs}), scheduler overhead "
               f"{now['sched']['predicted_overhead_pct']:+.3f}% with "
               f"bit-identical crash recovery, 2-out trial reduction "
-              f"{now['two_out']['reduction']:.1f}x exact")
+              f"{now['two_out']['reduction']:.1f}x exact, serve warm "
+              f"speedup {now['serve']['min_warm_speedup']:.1f}x with "
+              f"matching served answers")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

@@ -15,6 +15,7 @@ to constant factors, so we provide:
 
 from repro.cache.model import CacheParams
 from repro.cache.lru import LRUCache
+from repro.cache.store import BoundedLRU
 from repro.cache.traced import (
     MemoryTracker,
     NullTracker,
@@ -25,6 +26,7 @@ from repro.cache.traced import (
 __all__ = [
     "CacheParams",
     "LRUCache",
+    "BoundedLRU",
     "MemoryTracker",
     "NullTracker",
     "LRUTracker",

@@ -33,6 +33,16 @@ any of ``--max-retries``, ``--retry-backoff``, ``--checkpoint``,
 through the retrying, checkpointable dispatch loop and reports the
 achieved success probability next to the profile line.
 
+``serve`` / ``query`` run and talk to the persistent analytics daemon
+(``repro.serve``): ``serve`` keeps worker processes, arena slabs and
+loaded graphs warm across queries; ``query`` is the blocking client::
+
+    python -m repro.cli serve --bind /tmp/repro.sock --state-dir state &
+    python -m repro.cli query /tmp/repro.sock parallel_cc g.txt \
+        --wait-server 10
+    python -m repro.cli query /tmp/repro.sock square_root g.txt --seed 1
+    python -m repro.cli query /tmp/repro.sock --shutdown
+
 ``--variant 2out`` (``repro.core.two_out``) runs the random 2-out
 contraction preprocessing first and dispatches the recomputed — usually
 far smaller — trial budget on the contracted replicas, printing a
@@ -176,6 +186,72 @@ def _cmd_square_root(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the ``repro.serve`` daemon until interrupted or shut down."""
+    import signal
+
+    from repro.serve import Daemon, ServeConfig
+
+    cfg = ServeConfig(
+        bind=args.bind, state_dir=args.state_dir, backend=args.backend,
+        p=args.procs, wave_size=args.wave_size, quantum=args.quantum,
+        cache_edges=args.cache_edges,
+    )
+    daemon = Daemon(cfg)
+    address = daemon.start()
+    print(f"serving on {address} (backend={args.backend}, "
+          f"state={args.state_dir})", flush=True)
+    stop = lambda *_: daemon.stop()  # noqa: E731
+    signal.signal(signal.SIGINT, stop)
+    signal.signal(signal.SIGTERM, stop)
+    daemon._stopping.wait()
+    daemon.stop()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """One client interaction with a running serve daemon."""
+    import json
+
+    from repro.serve import Client, ServeError, wait_server
+
+    if args.wait_server:
+        wait_server(args.address, timeout=args.wait_server)
+    with Client(args.address, client=args.client,
+                priority=args.priority) as client:
+        if args.ping:
+            print(json.dumps(client.ping(), sort_keys=True))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("daemon shutting down")
+            return 0
+        kwargs = {}
+        if args.variant != "default":
+            kwargs["variant"] = args.variant
+        if args.trials is not None:
+            kwargs["trials"] = args.trials
+        if args.trial_scale != 1.0:
+            kwargs["trial_scale"] = args.trial_scale
+        if args.success_prob != 0.9:
+            kwargs["success_prob"] = args.success_prob
+        try:
+            job = client.submit(args.algorithm, os.path.abspath(args.input),
+                                seed=args.seed, p=args.procs, **kwargs)
+            if not args.wait:
+                print(json.dumps({"job": job}, sort_keys=True))
+                return 0
+            result = client.result(job)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(result, sort_keys=True))
+    return 0
+
+
 _FAMILIES = ("er", "ws", "ba", "rmat")
 
 
@@ -262,6 +338,62 @@ def build_parser() -> argparse.ArgumentParser:
                          "JSON file path (see repro.faults)")
     sp.set_defaults(func=_cmd_square_root)
 
+    sp = sub.add_parser(
+        "serve",
+        help="run the persistent analytics daemon (repro.serve)")
+    sp.add_argument("--bind", required=True,
+                    help="unix socket path (contains '/') or host:port "
+                         "(':0' picks a free port)")
+    sp.add_argument("--state-dir", default="serve-state",
+                    help="durable job store directory (the daemon's "
+                         "identity across restarts)")
+    sp.add_argument("--backend", choices=("sim", "mp", "warm"),
+                    default="warm",
+                    help="execution runtime; 'warm' (default) keeps the "
+                         "mp worker pool and arena slabs alive between "
+                         "queries")
+    sp.add_argument("--procs", "-p", type=int, default=4,
+                    help="default processors per query (default 4)")
+    sp.add_argument("--wave-size", type=int, default=8,
+                    help="trials per scheduler wave: the interleaving "
+                         "granularity between concurrent min-cut jobs")
+    sp.add_argument("--quantum", type=float, default=8.0,
+                    help="fair-queue round budget in trial units")
+    sp.add_argument("--cache-edges", type=float, default=50_000_000,
+                    help="graph cache capacity in total edges")
+    sp.set_defaults(func=_cmd_serve)
+
+    sp = sub.add_parser(
+        "query", help="query a running serve daemon (blocking client)")
+    sp.add_argument("address", help="daemon address (socket path or "
+                                    "host:port)")
+    sp.add_argument("algorithm", nargs="?", choices=(
+        "parallel_cc", "approx_cut", "square_root"))
+    sp.add_argument("input", nargs="?", help="edge-list file")
+    sp.add_argument("--procs", "-p", type=int, default=4)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--client", default="cli", help="fair-queue identity")
+    sp.add_argument("--priority", type=float, default=1.0,
+                    help="fair-queue weight (higher drains faster; "
+                         "never starves others)")
+    sp.add_argument("--variant", choices=VARIANTS, default="default")
+    sp.add_argument("--trials", type=int, default=None)
+    sp.add_argument("--trial-scale", type=float, default=1.0)
+    sp.add_argument("--success-prob", type=float, default=0.9)
+    sp.add_argument("--no-wait", dest="wait", action="store_false",
+                    help="print the job id instead of blocking on the "
+                         "result")
+    sp.add_argument("--wait-server", type=float, default=None,
+                    metavar="SECONDS",
+                    help="poll until the daemon answers ping first")
+    sp.add_argument("--ping", action="store_true",
+                    help="liveness probe only")
+    sp.add_argument("--stats", action="store_true",
+                    help="print daemon statistics only")
+    sp.add_argument("--shutdown", action="store_true",
+                    help="ask the daemon to stop gracefully")
+    sp.set_defaults(func=_cmd_query)
+
     sp = sub.add_parser("generate", help="generate a benchmark input graph")
     sp.add_argument("--family", choices=_FAMILIES, required=True)
     sp.add_argument("--n", type=int, required=True)
@@ -319,6 +451,17 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         d = os.path.dirname(os.path.abspath(checkpoint))
         if not os.path.isdir(d):
             parser.error(f"--checkpoint directory does not exist: {d}")
+    wave_size = getattr(args, "wave_size", None)
+    if wave_size is not None and wave_size < 1:
+        parser.error(f"--wave-size must be >= 1, got {wave_size}")
+    quantum = getattr(args, "quantum", None)
+    if quantum is not None and not quantum > 0:
+        parser.error(f"--quantum must be > 0, got {quantum}")
+    if getattr(args, "command", None) == "query":
+        probe = args.ping or args.stats or args.shutdown
+        if not probe and not (args.algorithm and args.input):
+            parser.error("query needs an algorithm and an input file "
+                         "(or one of --ping/--stats/--shutdown)")
     trace = getattr(args, "trace", None)
     if trace is not None:
         d = os.path.dirname(os.path.abspath(trace))

@@ -77,6 +77,7 @@ from repro.rng.streams import RngStreams, philox_stream
 from repro.runtime.base import Backend, resolve_backend
 
 __all__ = [
+    "DENSE_TRIAL_THRESHOLD",
     "MIN_DEGREE_GUARD",
     "PRESERVATION_PROB",
     "REPLICA_TRIAL_PROB",
@@ -112,6 +113,14 @@ TARGET_FLOOR = 16
 
 #: Default number of contraction rounds ("a constant number of rounds").
 DEFAULT_ROUNDS = 2
+
+#: Contracted replicas at or under this many vertices dispatch their
+#: trials through the dense bulk-contraction path (``dense=True`` on
+#: :func:`~repro.sched.programs.mincut_trials_program`): the n' x n'
+#: matrix is a few KB, densified once per wave, and skipping the sparse
+#: eager step saves its per-trial sampling.  Replicas land at
+#: ~:data:`TARGET_FLOOR` vertices, far under this.
+DENSE_TRIAL_THRESHOLD = 64
 
 #: Philox stream ids for preprocessing draws:
 #: ``_STREAM_BASE + replica * _ROUND_STRIDE + round``.  Rank streams live
@@ -394,6 +403,8 @@ def two_out_minimum_cut(
     scheduler=None,
     backend: "str | Backend | None" = None,
     force: bool = False,
+    dense_threshold: int = DENSE_TRIAL_THRESHOLD,
+    plan: TwoOutPlan | None = None,
 ):
     """The ``variant="2out"`` pipeline behind :func:`minimum_cut`.
 
@@ -404,10 +415,18 @@ def two_out_minimum_cut(
     is degraded — fall back to the unmodified default pipeline (the
     result is then bit-identical to ``variant="default"``).
 
-    ``force=True`` skips the degrade decision and runs the replica path
-    regardless (benchmark/test hook for exercising the genuine pipeline
-    on graphs where the default budget would still be cheaper).
+    Replicas contracted to at most ``dense_threshold`` vertices dispatch
+    their trials through the dense bulk-contraction path (pass 0 to
+    force every replica through the sparse path).  ``force=True`` skips
+    the degrade decision and runs the replica path regardless
+    (benchmark/test hook for exercising the genuine pipeline on graphs
+    where the default budget would still be cheaper).
     ``replicas``/``rounds`` override the derived defaults the same way.
+    ``plan`` supplies a precomputed :class:`TwoOutPlan` (the serve
+    layer's derivative cache replays one plan across many queries; it
+    must have been produced by :func:`plan_two_out` with the same
+    ``g``/``seed``/``success_prob``/``trial_scale``/``rounds``/
+    ``replicas`` or the results will not match an uncached run).
     Returns a :class:`~repro.core.mincut.MinCutResult` with ``variant``
     and ``two_out`` filled in.
     """
@@ -419,10 +438,12 @@ def two_out_minimum_cut(
             "variant='2out' does not support scheduler checkpoints: one "
             "ledger cannot span the per-replica dispatches")
     runtime = resolve_backend(backend)
-    plan = plan_two_out(
-        g, p, seed=seed, success_prob=success_prob, trial_scale=trial_scale,
-        rounds=rounds, replicas=replicas, backend=runtime,
-    )
+    if plan is None:
+        plan = plan_two_out(
+            g, p, seed=seed, success_prob=success_prob,
+            trial_scale=trial_scale, rounds=rounds, replicas=replicas,
+            backend=runtime,
+        )
 
     if plan.degraded and not force:
         base = minimum_cut(
@@ -458,6 +479,7 @@ def two_out_minimum_cut(
         sres = sched.run(
             g_r, p, backend=runtime, seed=replica_streams.spawn(r).seed,
             success_prob=REPLICA_TRIAL_PROB, trials=budget,
+            dense=int(k) <= dense_threshold,
         )
         side = sres.side[labels] if sres.side is not None else None
         best = _pick_min(best, (sres.value, side))

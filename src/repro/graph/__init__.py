@@ -35,6 +35,7 @@ from repro.graph.io import (
     read_snap,
     stream_edge_chunks,
 )
+from repro.graph.fingerprint import content_fingerprint
 
 __all__ = [
     "EdgeList",
@@ -59,4 +60,5 @@ __all__ = [
     "write_edgelist",
     "read_snap",
     "stream_edge_chunks",
+    "content_fingerprint",
 ]

@@ -1,0 +1,39 @@
+"""Content fingerprinting of graphs.
+
+A graph's *content fingerprint* is a SHA-256 over its exact byte content:
+the vertex count and the raw ``int64``/``float64`` bytes of the ``u``,
+``v``, ``w`` edge arrays, in array order.  Two :class:`EdgeList` objects
+fingerprint identically iff they are byte-identical graphs — same vertex
+count, same edges in the same order, same weight bits — which is exactly
+the identity the trial machinery needs: a trial's result is a pure
+function of ``(graph, master seed, trial id)``, so any layer that replays
+or caches per-graph work (the trial ledger's resume validation, the serve
+layer's graph/derivative cache) keys by this value.
+
+The fingerprint deliberately does **not** canonicalize: a permuted edge
+array is a different fingerprint even though it is the same abstract
+graph, because the trial RNG trajectories (weighted samplers walk the
+edge array in order) differ.  Byte identity is the conservative notion
+that makes "same fingerprint" imply "bit-identical results".
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["content_fingerprint"]
+
+
+def content_fingerprint(g) -> str:
+    """Hex SHA-256 identifying ``g``'s exact content (see module docstring).
+
+    Accepts any object with ``n`` and ``u``/``v``/``w`` edge arrays
+    (an :class:`~repro.graph.edgelist.EdgeList` or compatible).
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-graph-v1|n={int(g.n)}|m={int(g.u.size)}\n".encode())
+    for arr, dtype in ((g.u, np.int64), (g.v, np.int64), (g.w, np.float64)):
+        h.update(np.ascontiguousarray(arr, dtype=dtype).tobytes())
+    return h.hexdigest()

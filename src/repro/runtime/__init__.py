@@ -11,10 +11,13 @@ package decides *where* such a program runs:
   spawn-safe) communicating through a shared-memory transport, with
   *measured* wall-clock application/MPI time and bit-identical results
   and counters for a fixed seed.
+* :class:`WarmMpBackend` — ``MpBackend`` with a keep-alive worker pool
+  and persistent shm arenas: spawn once, run many.  The serving-layer
+  backend (:mod:`repro.serve`).
 
-:func:`resolve_backend` maps a spec (``"sim"``/``"mp"``/instance/None) to
-a backend; :mod:`repro.runtime.differential` holds the backends to each
-other.
+:func:`resolve_backend` maps a spec (``"sim"``/``"mp"``/``"warm"``/
+instance/None) to a backend; :mod:`repro.runtime.differential` holds the
+backends to each other.
 """
 
 from repro.runtime.base import Backend, available_backends, resolve_backend
@@ -26,6 +29,7 @@ from repro.runtime.errors import (
 )
 from repro.runtime.mp import MpBackend, default_start_method
 from repro.runtime.sim import SimBackend
+from repro.runtime.warm import WarmMpBackend
 from repro.runtime.differential import (
     ALGORITHMS,
     BackendParityError,
@@ -38,6 +42,7 @@ __all__ = [
     "Backend",
     "SimBackend",
     "MpBackend",
+    "WarmMpBackend",
     "resolve_backend",
     "available_backends",
     "default_start_method",

@@ -58,6 +58,14 @@ class Backend(ABC):
         path.
         """
 
+    def close(self) -> None:
+        """Release any long-lived resources (worker pools, shm arenas).
+
+        One-shot backends hold none between runs, so the default is a
+        no-op; keep-alive backends (:class:`~repro.runtime.warm.WarmMpBackend`)
+        override it.  Safe to call repeatedly and on a never-run backend.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -66,8 +74,10 @@ def available_backends() -> dict[str, type]:
     """Name -> class map of the registered backends."""
     from repro.runtime.mp import MpBackend
     from repro.runtime.sim import SimBackend
+    from repro.runtime.warm import WarmMpBackend
 
-    return {SimBackend.name: SimBackend, MpBackend.name: MpBackend}
+    return {SimBackend.name: SimBackend, MpBackend.name: MpBackend,
+            WarmMpBackend.name: WarmMpBackend}
 
 
 def resolve_backend(

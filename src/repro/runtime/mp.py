@@ -59,6 +59,7 @@ from repro.trace.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.runtime.transport import (
     DEFAULT_SHM_THRESHOLD,
     Transport,
+    TransportStats,
     collect_shm_names,
     collect_slab_names,
     decode_payload,
@@ -112,7 +113,8 @@ class _Pool:
     """The worker processes plus the coordinator-side bookkeeping."""
 
     def __init__(self, ctx, p: int, spec_for: Callable[[int], WorkerSpec],
-                 slab_token: str | None = None):
+                 slab_token: str | None = None,
+                 target: Callable = worker_main):
         self.conns = []
         self.procs = []
         #: Per-run worker slab name token; shutdown sweeps
@@ -125,7 +127,7 @@ class _Pool:
         for rank in range(p):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
-                target=worker_main,
+                target=target,
                 args=(child_conn, spec_for(rank)),
                 daemon=True,
                 name=f"repro-mp-{rank}",
@@ -316,12 +318,20 @@ class MpBackend(Backend):
         proc.join(timeout=5.0)
         return WorkerCrashError(rank, proc.exitcode, superstep=superstep)
 
-    def _coordinate(self, engine: Engine, pool: _Pool, p: int) -> RunResult:
+    def _coordinate(self, engine: Engine, pool: _Pool, p: int,
+                    transport: Transport | None = None) -> RunResult:
         tracer = self.tracer
         events_before = len(tracer)
         last_event_t = [perf_counter()]  # wall clock between collectives
-        transport = Transport(threshold=self.shm_threshold,
-                              use_arena=self.use_arena)
+        owns_transport = transport is None
+        if owns_transport:
+            transport = Transport(threshold=self.shm_threshold,
+                                  use_arena=self.use_arena)
+        else:
+            # Warm pool: the caller's transport (and its arena slabs)
+            # outlives this run; stats restart so last_transport_stats
+            # stays per-run.
+            transport.stats = TransportStats()
         # pending: rank -> (op, since_sync, pre-request counter snapshot)
         pending: dict[int, tuple[CollectiveOp, float, tuple | None]] = {}
         finished: set[int] = set()
@@ -463,7 +473,8 @@ class MpBackend(Backend):
                 unlink_segments(
                     name for names in reply_refs.values() for name in names
                 )
-            transport.close()
+            if owns_transport:
+                transport.close()
             self.last_transport_stats = transport.stats.as_dict()
 
         report = CountersReport.from_procs(list(counters))

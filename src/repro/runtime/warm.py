@@ -1,0 +1,185 @@
+"""Keep-alive multiprocess backend: one worker pool, many runs.
+
+:class:`WarmMpBackend` is :class:`~repro.runtime.mp.MpBackend` with the
+per-run setup amortized away.  The one-shot backend pays, on **every**
+``run()``: spawn ``p`` OS processes, import state (under ``spawn``,
+re-import the scientific stack), create per-worker shm arenas, and tear
+it all down.  The warm backend spawns the pool once
+(:func:`~repro.runtime.worker.persistent_worker_main` workers), keeps the
+worker *and* coordinator :class:`~repro.runtime.transport.Transport`
+arenas mapped, and dispatches each subsequent run as a small ``CMD_RUN``
+command down the existing pipes.  This is the serving-layer contract the
+daemon (:mod:`repro.serve`) is built on: request latency excludes process
+creation entirely.
+
+Semantics are identical to ``MpBackend`` — the coordinator logic is
+literally shared (:meth:`MpBackend._coordinate` with an external
+transport) — so results, counters and traces stay bit-identical to the
+one-shot backend and the simulator for a fixed seed.  Differences:
+
+* Programs are shipped per-run through the pipe, pickled by reference,
+  so they must be module-level functions (every program in the tree is).
+* On any :class:`~repro.runtime.errors.WorkerFailure` the whole pool is
+  discarded — surviving workers may be blocked mid-collective — and the
+  next ``run()`` transparently respawns it.  Failure behavior therefore
+  matches the one-shot backend observationally (same typed errors, no
+  leaked processes or segments), it just also costs the warmth.
+* A ``run()`` at a different ``p`` respawns the pool at the new width.
+* Call :meth:`close` (or use the backend as a context manager) when done;
+  a forgotten pool of daemonic workers dies with the parent process, and
+  the arena sweep in :meth:`~repro.runtime.mp._Pool.shutdown` still
+  reclaims slabs, but an explicit close is what keeps /dev/shm clean at
+  a deterministic point — the CI leak checks pin exactly that.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import operator as _operator
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from repro.bsp.engine import Engine, RunResult
+from repro.faults import FaultSpec
+from repro.runtime.mp import MpBackend, _Pool, _run_slab_token
+from repro.runtime.transport import Transport
+from repro.runtime.worker import (
+    CMD_EXIT,
+    CMD_RUN,
+    WorkerSpec,
+    persistent_worker_main,
+)
+
+__all__ = ["WarmMpBackend"]
+
+logger = logging.getLogger(__name__)
+
+
+class WarmMpBackend(MpBackend):
+    """Multiprocess backend that keeps its worker pool warm across runs.
+
+    Accepts every :class:`~repro.runtime.mp.MpBackend` parameter.  The
+    pool is spawned lazily on the first ``run()`` (at that run's ``p``)
+    and reused until :meth:`close`, a failure, or a ``p`` change.
+    """
+
+    name = "warm"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._pool: _Pool | None = None
+        self._pool_p: int | None = None
+        self._transport: Transport | None = None
+        #: Pool generation counter: spawns observed (tests assert warmth
+        #: by watching this stay flat across runs).
+        self.pool_spawns = 0
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self, p: int) -> _Pool:
+        if self._pool is not None and self._pool_p != p:
+            logger.info("warm pool width change %d -> %d: respawning",
+                        self._pool_p, p)
+            self.close()
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.start_method)
+            slab_token = _run_slab_token() if self.use_arena else None
+
+            def spec_for(rank: int) -> WorkerSpec:
+                # Per-run fields (program/args/seed/world gid/trace/
+                # faults) are placeholders here; every CMD_RUN replaces
+                # them.  The transport geometry is fixed for the pool's
+                # lifetime.
+                return WorkerSpec(
+                    rank=rank, p=p, world_gid=0, seed=0, cache=self.cache,
+                    program=None, args=(), kwargs={},
+                    shm_threshold=self.shm_threshold,
+                    trace=self.tracer.enabled,
+                    use_arena=self.use_arena,
+                    faults=(),
+                    slab_prefix=(f"{slab_token}r{rank}n"
+                                 if slab_token else None),
+                )
+
+            self._pool = _Pool(ctx, p, spec_for, slab_token=slab_token,
+                               target=persistent_worker_main)
+            self._pool_p = p
+            self._transport = Transport(threshold=self.shm_threshold,
+                                        use_arena=self.use_arena)
+            self.pool_spawns += 1
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear down after a failure: workers may be wedged mid-collective."""
+        pool, self._pool = self._pool, None
+        self._pool_p = None
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
+        if pool is not None:
+            pool.shutdown()
+
+    def close(self) -> None:
+        """Gracefully stop the pool and unlink every arena slab."""
+        pool, self._pool = self._pool, None
+        self._pool_p = None
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
+        if pool is None:
+            return
+        for conn in pool.conns:
+            try:
+                conn.send((CMD_EXIT,))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in pool.procs:
+            proc.join(timeout=5.0)
+        # Already-exited workers make shutdown() a drain + sweep; anything
+        # still alive is terminated there.
+        pool.shutdown()
+
+    def __enter__(self) -> "WarmMpBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[..., Generator],
+        p: int,
+        *,
+        seed: int = 0,
+        args: Iterable[Any] = (),
+        kwargs: dict | None = None,
+        faults: Sequence[FaultSpec] | None = None,
+    ) -> RunResult:
+        """Run ``program`` on the warm pool (spawning it if needed)."""
+        try:
+            p = _operator.index(p)
+        except TypeError:
+            raise TypeError(
+                f"p must be an integer processor count, got {type(p).__name__}"
+            ) from None
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+
+        engine = Engine(cache=self.cache)  # shared collective semantics
+        world = engine._new_group(tuple(range(p)))
+        pool = self._ensure_pool(p)
+        cmd = (CMD_RUN, world.gid, seed, program, tuple(args),
+               dict(kwargs or {}), self.tracer.enabled, tuple(faults or ()))
+        try:
+            for rank, conn in enumerate(pool.conns):
+                try:
+                    conn.send(cmd)
+                except (BrokenPipeError, OSError):
+                    raise self._crash(pool, rank) from None
+            return self._coordinate(engine, pool, p,
+                                    transport=self._transport)
+        except BaseException:
+            self._discard_pool()
+            raise

@@ -24,6 +24,7 @@ arrives in a picklable :class:`WorkerSpec`.
 from __future__ import annotations
 
 import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass, replace
@@ -38,10 +39,11 @@ from repro.bsp.errors import CollectiveMismatchError
 from repro.cache.model import CacheParams
 from repro.faults import FaultInjector, FaultSpec
 from repro.rng.streams import RngStreams
-from repro.runtime.transport import Transport, encode_payload
+from repro.runtime.transport import Transport, TransportStats, encode_payload
 
-__all__ = ["WorkerSpec", "worker_main", "MSG_OP", "MSG_DONE", "MSG_ERROR",
-           "REPLY_RESULT"]
+__all__ = ["WorkerSpec", "worker_main", "persistent_worker_main",
+           "MSG_OP", "MSG_DONE", "MSG_ERROR",
+           "REPLY_RESULT", "CMD_RUN", "CMD_EXIT"]
 
 #: Wire tags: worker -> coordinator.
 MSG_OP = "op"
@@ -50,6 +52,10 @@ MSG_ERROR = "error"
 
 #: Wire tags: coordinator -> worker.
 REPLY_RESULT = "result"
+
+#: Wire tags: coordinator -> persistent worker (warm-pool command loop).
+CMD_RUN = "run"
+CMD_EXIT = "exit"
 
 
 @dataclass(frozen=True)
@@ -82,8 +88,15 @@ class WorkerSpec:
     slab_prefix: str | None = None
 
 
-def _drive(conn, spec: WorkerSpec) -> None:
-    """Run the program to completion, brokering collectives via ``conn``."""
+def _drive(conn, spec: WorkerSpec, transport: Transport | None = None) -> None:
+    """Run the program to completion, brokering collectives via ``conn``.
+
+    ``transport`` hands in an externally owned transport (the warm pool's
+    per-worker arena, kept open across runs); the default ``None`` creates
+    a run-local one and closes it before the DONE report, exactly the
+    one-shot worker lifecycle.  Either way the DONE message carries this
+    run's stats only.
+    """
     world = Group(spec.world_gid, tuple(range(spec.p)))
     counters = ProcCounters()
     ctx = Context(
@@ -97,9 +110,13 @@ def _drive(conn, spec: WorkerSpec) -> None:
     gen = gen_value = None
     app_s = mpi_s = 0.0
     inbox = None
-    transport = Transport(threshold=spec.shm_threshold,
-                          use_arena=spec.use_arena,
-                          slab_prefix=spec.slab_prefix)
+    owns_transport = transport is None
+    if owns_transport:
+        transport = Transport(threshold=spec.shm_threshold,
+                              use_arena=spec.use_arena,
+                              slab_prefix=spec.slab_prefix)
+    else:
+        transport.stats = TransportStats()
     injector = FaultInjector(spec.faults, spec.rank)
     local_step = 0  # collectives this rank has completed
 
@@ -186,20 +203,37 @@ def _drive(conn, spec: WorkerSpec) -> None:
         inbox = transport.decode(payload)
         local_step += 1
 
-    # The DONE value rides legacy one-shot segments: this process exits
-    # before the coordinator decodes, so arena slabs (unlinked below, with
-    # the segments they back) cannot carry it.
+    # The DONE value rides legacy one-shot segments: this process (or, in
+    # warm mode, this *run*) is past its arena sends when the coordinator
+    # decodes, so arena slabs cannot carry it.
     done_value = encode_payload(gen_value, spec.shm_threshold)
-    transport.close()  # unlink own slabs *before* DONE: a clean exit leaves
-    #                    nothing for the coordinator's leak sweep to find
+    stats = transport.stats
+    if owns_transport:
+        transport.close()  # unlink own slabs *before* DONE: a clean exit
+        #                    leaves nothing for the leak sweep to find
     conn.send((
         MSG_DONE, spec.rank, done_value,
-        counters, app_s, mpi_s, transport.stats,
+        counters, app_s, mpi_s, stats,
     ))
+
+
+def _reset_inherited_signals() -> None:
+    """Fork-started workers inherit the parent's signal dispositions —
+    including any custom SIGINT/SIGTERM handler a long-running CLI
+    (``repro.cli serve``) installed, which must never run inside a
+    worker.  Shutdown is the coordinator's concern: workers ignore
+    Ctrl-C (the coordinator drains the pool and sends CMD_EXIT) and
+    take the default action on SIGTERM."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
 
 
 def worker_main(conn, spec: WorkerSpec) -> None:
     """Process entry point: drive the program, report errors, never raise."""
+    _reset_inherited_signals()
     try:
         _drive(conn, spec)
     except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
@@ -211,4 +245,52 @@ def worker_main(conn, spec: WorkerSpec) -> None:
         except Exception:  # pragma: no cover - pipe already gone
             pass
     finally:
+        conn.close()
+
+
+def persistent_worker_main(conn, spec: WorkerSpec) -> None:
+    """Warm-pool process entry point: run many programs, one arena.
+
+    Blocks on :data:`CMD_RUN` commands — each carries the per-run fields
+    of the :class:`WorkerSpec` (program, args, seed, world gid, trace
+    flag, fault specs; everything else is fixed at pool spawn) — and
+    drives each through :func:`_drive` against a single long-lived
+    :class:`~repro.runtime.transport.Transport`, so arena slabs stay
+    mapped across runs.  Programs arrive pickled by *reference* (module
+    + qualname), so warm pools require module-level program functions —
+    true of every program in the tree.  :data:`CMD_EXIT` (or EOF from a
+    departed coordinator) closes the arena and exits cleanly; any error
+    is reported and ends the process, because a failed collective can
+    leave peers blocked mid-protocol — the coordinator discards the
+    whole pool on failure anyway.
+    """
+    _reset_inherited_signals()
+    transport = Transport(threshold=spec.shm_threshold,
+                          use_arena=spec.use_arena,
+                          slab_prefix=spec.slab_prefix)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # coordinator went away: clean exit
+                break
+            if msg[0] == CMD_EXIT:
+                break
+            if msg[0] != CMD_RUN:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown warm-pool command {msg[0]!r}")
+            _, world_gid, seed, program, args, kwargs, trace, faults = msg
+            _drive(conn, replace(
+                spec, world_gid=world_gid, seed=seed, program=program,
+                args=args, kwargs=kwargs, trace=trace, faults=faults,
+            ), transport=transport)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+        try:
+            conn.send((
+                MSG_ERROR, spec.rank, type(exc).__name__,
+                traceback.format_exc(),
+            ))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        transport.close()
         conn.close()

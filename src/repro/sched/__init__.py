@@ -29,6 +29,7 @@ from repro.sched.scheduler import (
     SCHED_DISPATCH,
     SCHED_RETRY,
     ScheduledMinCut,
+    TrialRun,
     TrialScheduler,
     detect_stragglers,
     merge_reports,
@@ -44,6 +45,7 @@ __all__ = [
     "decode_side",
     "mincut_trials_program",
     "TrialScheduler",
+    "TrialRun",
     "ScheduledMinCut",
     "SCHED_DISPATCH",
     "SCHED_RETRY",

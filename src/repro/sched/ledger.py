@@ -117,13 +117,19 @@ class TrialLedger:
     """All planned trials of one scheduled run, checkpointable as JSONL."""
 
     def __init__(self, trials: int, n: int, m: int, seed: int,
-                 records: dict[int, TrialRecord] | None = None):
+                 records: dict[int, TrialRecord] | None = None,
+                 graph_fp: str | None = None):
         if trials < 1:
             raise ValueError(f"need at least one trial, got {trials}")
         self.trials = int(trials)
         self.n = int(n)
         self.m = int(m)
         self.seed = int(seed)
+        #: Optional content fingerprint of the graph this run belongs to
+        #: (:func:`repro.graph.content_fingerprint`).  Strictly stronger
+        #: identity than the ``(n, m)`` shape check; checkpoints written
+        #: before it existed simply omit it and stay loadable.
+        self.graph_fp = graph_fp
         if records is None:
             records = {ti: TrialRecord(ti) for ti in range(trials)}
         self.records = records
@@ -234,11 +240,14 @@ class TrialLedger:
     # -- checkpoint ----------------------------------------------------------
 
     def header(self) -> dict:
-        return {
+        doc = {
             "kind": LEDGER_MAGIC, "version": LEDGER_VERSION,
             "seed": self.seed, "trials": self.trials,
             "n": self.n, "m": self.m,
         }
+        if self.graph_fp is not None:
+            doc["graph_fp"] = self.graph_fp
+        return doc
 
     def save(self, path: str) -> None:
         """Atomically write the full ledger as JSONL (tmp + rename)."""
@@ -272,7 +281,8 @@ class TrialLedger:
             rec = TrialRecord.from_doc(json.loads(line))
             records[rec.trial] = rec
         ledger = cls(header["trials"], header["n"], header["m"],
-                     header["seed"], records=records)
+                     header["seed"], records=records,
+                     graph_fp=header.get("graph_fp"))
         missing = set(range(ledger.trials)) - set(records)
         if missing:
             raise ValueError(
@@ -281,7 +291,16 @@ class TrialLedger:
             )
         return ledger
 
-    def matches(self, *, trials: int, n: int, m: int, seed: int) -> bool:
-        """Whether this ledger belongs to the given run identity."""
+    def matches(self, *, trials: int, n: int, m: int, seed: int,
+                graph_fp: str | None = None) -> bool:
+        """Whether this ledger belongs to the given run identity.
+
+        The graph content fingerprint is compared only when both sides
+        carry one, so pre-fingerprint checkpoints keep resuming on the
+        weaker ``(n, m)`` shape identity.
+        """
+        if (graph_fp is not None and self.graph_fp is not None
+                and self.graph_fp != graph_fp):
+            return False
         return (self.trials == trials and self.n == n
                 and self.m == m and self.seed == seed)

@@ -21,7 +21,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.traced import AnalyticTracker
-from repro.core.mincut import sequential_trial, sequential_trial_all
+from repro.core.karger_stein import karger_stein_matrix, karger_stein_matrix_all
+from repro.core.mincut import (
+    _edges_to_dense,
+    sequential_trial,
+    sequential_trial_all,
+)
 from repro.rng.sampling import CumulativeWeightSampler
 from repro.rng.streams import RngStreams
 
@@ -29,7 +34,7 @@ __all__ = ["mincut_trials_program"]
 
 
 def mincut_trials_program(ctx, slices, n, trial_ids, trial_seed,
-                          collect_all=False):
+                          collect_all=False, dense=False):
     """SPMD program: run the given trials, gather per-trial results to root.
 
     Trials are owned round-robin by position — position ``j`` belongs to
@@ -39,6 +44,18 @@ def mincut_trials_program(ctx, slices, n, trial_ids, trial_seed,
     ``collect_all``, ``(trial_id, value, {canonical_key: side})``
     carrying every tied minimum-cut witness the trial found (Lemma 4.3);
     other ranks return ``None``.
+
+    ``dense`` runs each trial directly through the dense bulk-contraction
+    recursion (:func:`~repro.core.karger_stein.karger_stein_matrix`) on
+    an adjacency matrix densified **once per wave**, skipping the sparse
+    eager step entirely.  That is the right shape for tiny graphs — the
+    2-out pipeline's ~16-vertex contracted replicas — where the n x n
+    matrix is a few KB and the eager step's per-trial sampling dominates.
+    Dense trials consume different RNG trajectories than sparse ones, so
+    the per-trial (value, side) bits differ; each trial still finds the
+    minimum cut with at least the Lemma 2.2 probability the budget was
+    priced for (a direct recursion from n preserves a min cut at least
+    as well as eager-contraction to ~sqrt(m) followed by the recursion).
 
     Two collectives: the graph-replication ``allgatherv`` and the result
     ``gather`` — so fault ``step=0`` fires before any trial work and
@@ -64,6 +81,23 @@ def mincut_trials_program(ctx, slices, n, trial_ids, trial_seed,
             if j % p == ctx.rank:
                 payload = {b"": side} if collect_all else side
                 mine.append((int(ti), 0.0, payload))
+    elif dense:
+        streams = RngStreams(trial_seed)
+        tracker = AnalyticTracker(ctx.cache)
+        a0 = _edges_to_dense(fu, fv, fw, n)
+        tracker.alloc("edges", fu.size, words_per_elem=3)
+        tracker.alloc("ks_matrix", n * n)
+        tracker.scan("edges", 0, fu.size)
+        dense_fn = karger_stein_matrix_all if collect_all \
+            else karger_stein_matrix
+        for j, ti in enumerate(trial_ids):
+            if j % p != ctx.rank:
+                continue
+            tracker.scan("ks_matrix", 0, n * n)
+            tracker.ops(n * n)
+            val, payload = dense_fn(a0.copy(), streams.aux(int(ti)), tracker)
+            mine.append((int(ti), float(val), payload))
+        ctx.charge(ops=tracker.op_count, misses=tracker.miss_count)
     else:
         streams = RngStreams(trial_seed)
         tracker = AnalyticTracker(ctx.cache)

@@ -41,6 +41,7 @@ from repro.bsp.counters import CountersReport, ProcCounters
 from repro.bsp.machine import TimeEstimate
 from repro.core.trials import achieved_success_probability, num_trials
 from repro.faults import FaultPlan
+from repro.graph.fingerprint import content_fingerprint
 from repro.rng.streams import RngStreams
 from repro.runtime.base import Backend, resolve_backend
 from repro.runtime.errors import WorkerFailure
@@ -52,6 +53,7 @@ __all__ = [
     "SCHED_DISPATCH",
     "SCHED_RETRY",
     "ScheduledMinCut",
+    "TrialRun",
     "TrialScheduler",
     "merge_reports",
     "split_trace",
@@ -182,6 +184,65 @@ class ScheduledMinCut:
     sides: list[np.ndarray] | None = None
 
 
+@dataclass
+class TrialRun:
+    """Open state of one scheduled run between ``begin`` and ``finish``.
+
+    Produced by :meth:`TrialScheduler.begin`; advanced one wave at a time
+    by :meth:`TrialScheduler.run_wave`; folded by
+    :meth:`TrialScheduler.finish`.  Multi-tenant callers (the serve
+    daemon) hold many of these open at once and interleave their waves
+    through a single shared backend.
+    """
+
+    scheduler: "TrialScheduler"
+    runtime: Backend
+    p: int
+    seed: int
+    n: int
+    m: int
+    success_prob: float
+    trials: int
+    collect_all: bool
+    dense: bool
+    checkpoint: str | None
+    ledger: TrialLedger
+    slices: list
+    waves: list[list[int]]
+    jitter_rng: np.random.Generator
+    # -- accumulators, advanced by run_wave ----------------------------------
+    reports: list[CountersReport] = None
+    app_s: float = 0.0
+    mpi_s: float = 0.0
+    events: list[TraceEvent] = None
+    traced_any: bool = False
+    stragglers: dict[int, list[int]] = None
+    dispatches: int = 0
+    retries: int = 0
+    next_wave: int = 0
+
+    def __post_init__(self):
+        if self.reports is None:
+            self.reports = []
+        if self.events is None:
+            self.events = []
+        if self.stragglers is None:
+            self.stragglers = {}
+
+    @property
+    def done(self) -> bool:
+        """Whether every wave has been dispatched."""
+        return self.next_wave >= len(self.waves)
+
+    def step(self) -> bool:
+        """Dispatch the next wave; returns False once all waves ran."""
+        if self.done:
+            return False
+        self.scheduler.run_wave(self, self.next_wave)
+        self.next_wave += 1
+        return True
+
+
 class TrialScheduler:
     """Dispatch policy for fault-tolerant Monte-Carlo trial runs.
 
@@ -265,22 +326,197 @@ class TrialScheduler:
         return base * (1.0 + self.backoff_jitter * jitter_draw)
 
     def _ledger_for(self, *, trials: int, n: int, m: int, seed: int,
-                    resume: bool) -> TrialLedger:
+                    resume: bool, checkpoint: str | None = None,
+                    graph_fp: str | None = None) -> TrialLedger:
+        checkpoint = checkpoint if checkpoint is not None else self.checkpoint
         if resume:
-            if not self.checkpoint:
+            if not checkpoint:
                 raise ValueError(
                     "resume=True needs a checkpoint path on the scheduler"
                 )
-            ledger = TrialLedger.load(self.checkpoint)
-            if not ledger.matches(trials=trials, n=n, m=m, seed=seed):
+            ledger = TrialLedger.load(checkpoint)
+            if not ledger.matches(trials=trials, n=n, m=m, seed=seed,
+                                  graph_fp=graph_fp):
                 raise ValueError(
-                    f"checkpoint {self.checkpoint!r} belongs to a different "
+                    f"checkpoint {checkpoint!r} belongs to a different "
                     f"run: it has (seed={ledger.seed}, trials="
-                    f"{ledger.trials}, n={ledger.n}, m={ledger.m}), this run "
-                    f"is (seed={seed}, trials={trials}, n={n}, m={m})"
+                    f"{ledger.trials}, n={ledger.n}, m={ledger.m}, "
+                    f"graph_fp={ledger.graph_fp!r}), this run "
+                    f"is (seed={seed}, trials={trials}, n={n}, m={m}, "
+                    f"graph_fp={graph_fp!r})"
                 )
+            if ledger.graph_fp is None:
+                ledger.graph_fp = graph_fp
             return ledger
-        return TrialLedger(trials, n, m, seed)
+        return TrialLedger(trials, n, m, seed, graph_fp=graph_fp)
+
+    # -- steppable run -------------------------------------------------------
+    #
+    # ``run`` is ``begin`` + one ``run_wave`` per wave + ``finish``.  The
+    # split exists for multi-tenant callers (the serve-layer daemon): they
+    # hold many open :class:`TrialRun` states and interleave single waves
+    # from different jobs through one backend.  Because every trial's RNG
+    # stream is keyed by its global id, interleaving does not change any
+    # result bit — it only reorders which dispatch computes which trial.
+
+    def begin(
+        self,
+        g,
+        p: int = 4,
+        *,
+        backend: "str | Backend | None" = None,
+        seed: int = 0,
+        success_prob: float = 0.9,
+        trials: int | None = None,
+        trial_scale: float = 1.0,
+        resume: bool = False,
+        collect_all: bool = False,
+        dense: bool = False,
+        checkpoint: str | None = None,
+    ) -> "TrialRun":
+        """Plan a scheduled run and return its open :class:`TrialRun` state.
+
+        ``checkpoint`` overrides the scheduler-level checkpoint path for
+        this run only (multi-tenant callers give every job its own ledger
+        file while sharing one scheduler's policy knobs).
+        """
+        if g.n < 2:
+            raise ValueError("minimum cut needs at least 2 vertices")
+        runtime = resolve_backend(backend)
+        n, m = g.n, max(g.m, 1)
+        if trials is None:
+            trials = num_trials(n, m, success_prob=success_prob,
+                                scale=trial_scale)
+        checkpoint = checkpoint if checkpoint is not None else self.checkpoint
+        ledger = self._ledger_for(trials=trials, n=n, m=m, seed=seed,
+                                  resume=resume, checkpoint=checkpoint,
+                                  graph_fp=content_fingerprint(g))
+        slices = g.slices(p)
+        pending = ledger.pending_ids()
+        size = self.wave_size or max(1, len(pending))
+        waves = [pending[i:i + size] for i in range(0, len(pending), size)]
+        # Jitter draws come from a seed-derived Philox stream disjoint
+        # from every trial stream, so retry schedules replay exactly.
+        jitter_rng = RngStreams(seed ^ 0x5EEDBACC).aux(0)
+        return TrialRun(
+            scheduler=self, runtime=runtime, p=p, seed=seed, n=n, m=m,
+            success_prob=success_prob, trials=trials,
+            collect_all=collect_all, dense=dense, checkpoint=checkpoint,
+            ledger=ledger, slices=slices, waves=waves,
+            jitter_rng=jitter_rng,
+        )
+
+    def run_wave(self, run: "TrialRun", wave: int) -> None:
+        """Dispatch wave ``wave`` of ``run`` (with retries) and record it."""
+        ledger, ids = run.ledger, run.waves[wave]
+        attempt = 0
+        while True:
+            specs = (self.fault_plan.for_dispatch(wave, attempt)
+                     if self.fault_plan else ())
+            ledger.mark_running(ids, wave=wave)
+            if run.checkpoint:
+                ledger.save(run.checkpoint)
+            run.events.append(
+                _sched_event(SCHED_DISPATCH, wave, attempt, len(ids)))
+            kwargs = {}
+            if run.collect_all:
+                kwargs["collect_all"] = True
+            if run.dense:
+                kwargs["dense"] = True
+            try:
+                rr = run.runtime.run(
+                    mincut_trials_program, run.p, seed=run.seed,
+                    args=(run.slices, run.n, tuple(ids), run.seed),
+                    kwargs=kwargs or None,
+                    faults=specs or None,
+                )
+            except WorkerFailure as exc:
+                exc.attach_trials(ids)
+                ledger.mark_pending(ids)
+                run.events.pop()  # failed dispatch: drop its marker
+                if attempt >= self.max_retries:
+                    ledger.mark_failed(ids)
+                    if run.checkpoint:
+                        ledger.save(run.checkpoint)
+                    if self.on_failure == "raise":
+                        raise
+                    logger.warning(
+                        "wave %d failed after %d attempt(s); continuing "
+                        "without trials %s: %s",
+                        wave, attempt + 1, list(ids), exc,
+                    )
+                    break
+                run.events.append(
+                    _sched_event(SCHED_RETRY, wave, attempt, len(ids)))
+                delay = self.backoff_delay(
+                    attempt, float(run.jitter_rng.random()))
+                logger.info(
+                    "wave %d attempt %d failed (%s); retrying in %.3fs",
+                    wave, attempt, exc, delay,
+                )
+                if delay > 0:
+                    self.sleep(delay)
+                attempt += 1
+                run.retries += 1
+                continue
+            break
+        if ledger.records[ids[0]].status == "failed":
+            return  # on_failure="continue" path: wave abandoned
+
+        for ti, value, payload in rr.root_value:
+            if run.collect_all:
+                cuts = payload
+                witness = cuts[min(cuts)] if cuts else None
+                ledger.record_done(ti, value, witness,
+                                   sides=list(cuts.values()))
+            else:
+                ledger.record_done(ti, value, payload)
+        if run.checkpoint:
+            ledger.save(run.checkpoint)
+        run.dispatches += 1
+        run.reports.append(rr.report)
+        run.app_s += rr.time.app_s
+        run.mpi_s += rr.time.mpi_s
+        if rr.trace is not None:
+            run.traced_any = True
+            run.events.extend(rr.trace)
+            found = detect_stragglers(
+                rr.trace,
+                factor=self.straggler_factor,
+                min_deficit_ops=self.straggler_min_deficit_ops,
+            )
+            if found:
+                run.stragglers[wave] = found
+                logger.warning(
+                    "wave %d straggler rank(s) %s: peers idled waiting "
+                    "on them (trace wait deltas)", wave, found,
+                )
+
+    def finish(self, run: "TrialRun") -> ScheduledMinCut:
+        """Fold ``run``'s ledger into the final :class:`ScheduledMinCut`."""
+        ledger = run.ledger
+        value, side = ledger.best()
+        completed = ledger.completed
+        if completed == 0:
+            raise RuntimeError(
+                "no trial completed: every wave failed and on_failure="
+                "'continue' swallowed the errors"
+            )
+        report = (merge_reports(run.reports) if run.reports
+                  else CountersReport.from_procs(
+                      [ProcCounters() for _ in range(run.p)]))
+        return ScheduledMinCut(
+            value=value, side=side, trials=run.trials, completed=completed,
+            requested_success_prob=run.success_prob,
+            achieved_success_prob=achieved_success_probability(
+                run.n, run.m, completed),
+            ledger=ledger, report=report,
+            time=TimeEstimate(app_s=run.app_s, mpi_s=run.mpi_s),
+            dispatches=run.dispatches, retries=run.retries,
+            trace=run.events if run.traced_any else None,
+            stragglers=run.stragglers if run.traced_any else None,
+            sides=ledger.min_cut_sides() if run.collect_all else None,
+        )
 
     # -- main entry ----------------------------------------------------------
 
@@ -296,6 +532,7 @@ class TrialScheduler:
         trial_scale: float = 1.0,
         resume: bool = False,
         collect_all: bool = False,
+        dense: bool = False,
     ) -> ScheduledMinCut:
         """Scheduled minimum cut of ``g``: plan, dispatch, retry, fold.
 
@@ -305,129 +542,11 @@ class TrialScheduler:
         bit-identical to *itself* across fault-free, faulted-and-retried
         and checkpoint/resumed executions.
         """
-        if g.n < 2:
-            raise ValueError("minimum cut needs at least 2 vertices")
-        runtime = resolve_backend(backend)
-        n, m = g.n, max(g.m, 1)
-        if trials is None:
-            trials = num_trials(n, m, success_prob=success_prob,
-                                scale=trial_scale)
-        ledger = self._ledger_for(trials=trials, n=n, m=m, seed=seed,
-                                  resume=resume)
-        slices = g.slices(p)
-        pending = ledger.pending_ids()
-        size = self.wave_size or max(1, len(pending))
-        waves = [pending[i:i + size] for i in range(0, len(pending), size)]
-        # Jitter draws come from a seed-derived Philox stream disjoint
-        # from every trial stream, so retry schedules replay exactly.
-        jitter_rng = RngStreams(seed ^ 0x5EEDBACC).aux(0)
-
-        reports: list[CountersReport] = []
-        app_s = mpi_s = 0.0
-        events: list[TraceEvent] = []
-        traced_any = False
-        stragglers: dict[int, list[int]] = {}
-        dispatches = retries = 0
-
-        for wave, ids in enumerate(waves):
-            attempt = 0
-            while True:
-                specs = (self.fault_plan.for_dispatch(wave, attempt)
-                         if self.fault_plan else ())
-                ledger.mark_running(ids, wave=wave)
-                if self.checkpoint:
-                    ledger.save(self.checkpoint)
-                events.append(
-                    _sched_event(SCHED_DISPATCH, wave, attempt, len(ids)))
-                try:
-                    rr = runtime.run(
-                        mincut_trials_program, p, seed=seed,
-                        args=(slices, n, tuple(ids), seed),
-                        kwargs=({"collect_all": True} if collect_all
-                                else None),
-                        faults=specs or None,
-                    )
-                except WorkerFailure as exc:
-                    exc.attach_trials(ids)
-                    ledger.mark_pending(ids)
-                    events.pop()  # failed dispatch: drop its marker
-                    if attempt >= self.max_retries:
-                        ledger.mark_failed(ids)
-                        if self.checkpoint:
-                            ledger.save(self.checkpoint)
-                        if self.on_failure == "raise":
-                            raise
-                        logger.warning(
-                            "wave %d failed after %d attempt(s); continuing "
-                            "without trials %s: %s",
-                            wave, attempt + 1, list(ids), exc,
-                        )
-                        break
-                    events.append(
-                        _sched_event(SCHED_RETRY, wave, attempt, len(ids)))
-                    delay = self.backoff_delay(
-                        attempt, float(jitter_rng.random()))
-                    logger.info(
-                        "wave %d attempt %d failed (%s); retrying in %.3fs",
-                        wave, attempt, exc, delay,
-                    )
-                    if delay > 0:
-                        self.sleep(delay)
-                    attempt += 1
-                    retries += 1
-                    continue
-                break
-            if ledger.records[ids[0]].status == "failed":
-                continue  # on_failure="continue" path: wave abandoned
-
-            for ti, value, payload in rr.root_value:
-                if collect_all:
-                    cuts = payload
-                    witness = cuts[min(cuts)] if cuts else None
-                    ledger.record_done(ti, value, witness,
-                                       sides=list(cuts.values()))
-                else:
-                    ledger.record_done(ti, value, payload)
-            if self.checkpoint:
-                ledger.save(self.checkpoint)
-            dispatches += 1
-            reports.append(rr.report)
-            app_s += rr.time.app_s
-            mpi_s += rr.time.mpi_s
-            if rr.trace is not None:
-                traced_any = True
-                events.extend(rr.trace)
-                found = detect_stragglers(
-                    rr.trace,
-                    factor=self.straggler_factor,
-                    min_deficit_ops=self.straggler_min_deficit_ops,
-                )
-                if found:
-                    stragglers[wave] = found
-                    logger.warning(
-                        "wave %d straggler rank(s) %s: peers idled waiting "
-                        "on them (trace wait deltas)", wave, found,
-                    )
-
-        value, side = ledger.best()
-        completed = ledger.completed
-        if completed == 0:
-            raise RuntimeError(
-                "no trial completed: every wave failed and on_failure="
-                "'continue' swallowed the errors"
-            )
-        report = (merge_reports(reports) if reports
-                  else CountersReport.from_procs(
-                      [ProcCounters() for _ in range(p)]))
-        return ScheduledMinCut(
-            value=value, side=side, trials=trials, completed=completed,
-            requested_success_prob=success_prob,
-            achieved_success_prob=achieved_success_probability(
-                n, m, completed),
-            ledger=ledger, report=report,
-            time=TimeEstimate(app_s=app_s, mpi_s=mpi_s),
-            dispatches=dispatches, retries=retries,
-            trace=events if traced_any else None,
-            stragglers=stragglers if traced_any else None,
-            sides=ledger.min_cut_sides() if collect_all else None,
+        run = self.begin(
+            g, p, backend=backend, seed=seed, success_prob=success_prob,
+            trials=trials, trial_scale=trial_scale, resume=resume,
+            collect_all=collect_all, dense=dense,
         )
+        while run.step():
+            pass
+        return self.finish(run)

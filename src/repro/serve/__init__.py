@@ -1,0 +1,45 @@
+"""repro.serve — a persistent graph-analytics daemon.
+
+Serves warm CC / min-cut queries to many concurrent clients: a
+long-lived coordinator (:class:`~repro.serve.daemon.Daemon`) keeps the
+multiprocess worker pool and shared-memory arena slabs alive between
+requests, caches loaded graphs and 2-out preprocessing plans by content
+fingerprint, and interleaves concurrent jobs' trial waves through one
+fault-tolerant scheduler under deficit-fair queuing.  Every answer is
+bit-identical to a direct :func:`repro.harness.run_algorithm` call with
+the same ``(graph, seed, p)`` — warmth and multi-tenancy are pure
+latency policy.  See ``docs/serve.md``.
+"""
+
+from repro.serve.cache import FingerprintMismatch, GraphCache
+from repro.serve.client import Client, ServeError, wait_server
+from repro.serve.daemon import Daemon, ServeConfig
+from repro.serve.jobs import Job, JobStore
+from repro.serve.protocol import (
+    ALGORITHMS,
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    ProtocolError,
+    result_doc,
+)
+from repro.serve.queue import DeficitFairQueue
+
+__all__ = [
+    "ALGORITHMS",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "TERMINAL_STATES",
+    "Client",
+    "Daemon",
+    "DeficitFairQueue",
+    "FingerprintMismatch",
+    "GraphCache",
+    "Job",
+    "JobStore",
+    "ProtocolError",
+    "ServeConfig",
+    "ServeError",
+    "wait_server",
+    "result_doc",
+]

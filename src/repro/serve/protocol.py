@@ -1,0 +1,149 @@
+"""The line-delimited-JSON wire protocol of the serve daemon.
+
+One connection, one JSON object per line, request/response in lockstep.
+Every request carries ``{"op": <name>, ...}``; every response carries
+``{"ok": true, ...}`` or ``{"ok": false, "error": <type>, "message": ...}``.
+Ops:
+
+``submit``
+    ``{"op": "submit", "algorithm": "parallel_cc" | "approx_cut" |
+    "square_root", "path": <graph file>, "seed": int, "p": int,
+    "client": str, "priority": float, ...algorithm kwargs}`` →
+    ``{"ok": true, "job": <id>}``.  ``priority`` is the client's fair-
+    queue weight (default 1.0; higher drains faster, never starves
+    others).  Optional algorithm kwargs: ``variant``/``trials``/
+    ``trial_scale``/``success_prob`` for ``square_root``, ``eps``/
+    ``delta`` for the others where applicable.
+``status``
+    ``{"op": "status", "job": <id>}`` → job state (``queued`` /
+    ``running`` / ``done`` / ``failed`` / ``cancelled``) plus progress
+    (waves completed / planned).
+``result``
+    ``{"op": "result", "job": <id>, "wait": bool, "timeout": float}`` →
+    the result document (below), blocking until terminal when ``wait``.
+``cancel``
+    ``{"op": "cancel", "job": <id>}`` → cancels a queued/running job.
+``stats``
+    daemon-wide counters: cache stats, queue depths, per-client served
+    slices, backend pool spawns, uptime.
+``ping`` / ``shutdown``
+    liveness probe / graceful stop.
+
+Result documents are JSON-safe summaries, not pickles: ``parallel_cc``
+reports ``n_components`` and a sha256 of the label array (plus the
+labels themselves when small); ``square_root`` reports the cut ``value``,
+the hex-packed witness ``side`` (:func:`repro.sched.ledger.encode_side`),
+``trials``/``completed`` and the achieved success probability;
+``approx_cut`` reports the estimate and witness value.  Everything needed
+to *verify* a result against a direct :func:`repro.harness.run_algorithm`
+call crosses the wire; bulk payloads stay in the daemon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ALGORITHMS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ProtocolError",
+    "encode_line",
+    "decode_line",
+    "error_doc",
+    "ok_doc",
+    "result_doc",
+]
+
+#: Bumped on incompatible wire changes; ping reports it.
+PROTOCOL_VERSION = 1
+
+#: Algorithm tags accepted by ``submit`` (the artifact executables).
+ALGORITHMS = ("parallel_cc", "approx_cut", "square_root")
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Label arrays at most this long ride along in cc result docs.
+_MAX_INLINE_LABELS = 4096
+
+
+class ProtocolError(Exception):
+    """Malformed request or illegal op (reported, never fatal)."""
+
+
+def encode_line(doc: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return (json.dumps(doc, separators=(",", ":"), sort_keys=True)
+            + "\n").encode()
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line into a dict (raises ProtocolError)."""
+    try:
+        doc = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def ok_doc(**fields: Any) -> dict:
+    return {"ok": True, **fields}
+
+
+def error_doc(error: str, message: str) -> dict:
+    return {"ok": False, "error": error, "message": message}
+
+
+def _labels_sha(labels: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(labels, dtype=np.int64).tobytes()).hexdigest()
+
+
+def result_doc(algorithm: str, result: Any) -> dict:
+    """JSON-safe summary of an algorithm result object (see module doc)."""
+    from repro.sched.ledger import encode_side
+
+    if algorithm == "parallel_cc":
+        labels = np.asarray(result.labels)
+        doc = {
+            "algorithm": algorithm,
+            "n_components": int(result.n_components),
+            "labels_sha256": _labels_sha(labels),
+        }
+        if labels.size <= _MAX_INLINE_LABELS:
+            doc["labels"] = [int(x) for x in labels]
+        return doc
+    if algorithm == "approx_cut":
+        return {
+            "algorithm": algorithm,
+            "estimate": float(result.estimate),
+            "witness_value": float(result.witness_value),
+            "witness_side": (None if result.witness_side is None
+                             else encode_side(result.witness_side)),
+        }
+    if algorithm == "square_root":
+        return {
+            "algorithm": algorithm,
+            "value": float(result.value),
+            "side": (None if result.side is None
+                     else encode_side(result.side)),
+            "trials": int(result.trials),
+            # None for fixed-trials runs, where no probability target applies
+            "achieved_success_prob": (
+                None if result.achieved_success_prob is None
+                else float(result.achieved_success_prob)),
+            "variant": result.variant,
+        }
+    raise ProtocolError(f"unknown algorithm {algorithm!r}")

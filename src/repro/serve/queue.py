@@ -1,0 +1,184 @@
+"""Deficit-round-robin fair queuing of job slices across clients.
+
+The daemon executes work in *slices* — one scheduler trial wave for a
+min-cut job, one whole run for a CC/approx query — through a single
+warm backend.  The queue decides whose slice runs next so a client
+submitting a 500-wave min cut cannot starve another's one-slice CC
+query: classic deficit round robin (Shreedhar–Varghese) over per-client
+FIFOs, with the client's ``weight`` (the protocol's ``priority``)
+scaling its per-round quantum.
+
+Costs are in abstract slice-cost units (the daemon charges each slice
+its trial count, or 1 for single-shot jobs).  Each round visits active
+clients in a fixed rotation; a client's deficit grows by
+``quantum * weight`` and it dispatches queued slices while the deficit
+covers them.  Because every slice's result is invariant to dispatch
+order (per-trial RNG is keyed by global trial id), fairness here is a
+pure latency policy — it cannot change any job's bits, which is what
+the interleaving tests pin.
+
+Deterministic and single-threaded by design; the daemon serializes
+access from its executor thread (plus a lock for submit/cancel from
+connection threads).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Hashable
+
+__all__ = ["DeficitFairQueue"]
+
+
+class DeficitFairQueue:
+    """DRR scheduler over per-client slice queues.
+
+    ``quantum`` is the base per-round cost budget; a client with weight
+    ``w`` earns ``quantum * w`` per round.  A quantum at least the
+    largest single slice cost guarantees every round can dispatch at
+    least one slice per active client (DRR's O(1) bound).
+    """
+
+    def __init__(self, quantum: float = 1.0):
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.quantum = float(quantum)
+        # client -> FIFO of (cost, item); OrderedDict gives the stable
+        # round-robin rotation order (insertion order of first use).
+        self._queues: OrderedDict[Hashable, deque] = OrderedDict()
+        self._weights: dict[Hashable, float] = {}
+        self._deficits: dict[Hashable, float] = {}
+        #: Per-client dispatched slice counts (stats endpoint).
+        self.served: dict[Hashable, int] = {}
+        self._rotation: deque = deque()  # active clients, round order
+        self._lock = threading.Lock()
+
+    def set_weight(self, client: Hashable, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        with self._lock:
+            self._weights[client] = float(weight)
+
+    def push(self, client: Hashable, item: Any, cost: float = 1.0,
+             weight: float | None = None) -> None:
+        """Enqueue one slice for ``client`` (optionally updating weight)."""
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        with self._lock:
+            if weight is not None:
+                if weight <= 0:
+                    raise ValueError(
+                        f"weight must be positive, got {weight}")
+                self._weights[client] = float(weight)
+            q = self._queues.get(client)
+            if q is None:
+                q = self._queues[client] = deque()
+            if not q and client not in self._rotation:
+                self._rotation.append(client)
+                self._deficits.setdefault(client, 0.0)
+            q.append((float(cost), item))
+
+    def pop(self) -> tuple[Hashable, Any] | None:
+        """Dispatch the next slice under DRR, or None when idle.
+
+        Visits clients in rotation order; tops up the visited client's
+        deficit once per visit and drains as many of its queued slices
+        as the deficit affords before moving on.  An emptied client
+        leaves the rotation (and forfeits its remaining deficit, per DRR — an
+        idle client cannot bank credit).
+        """
+        with self._lock:
+            while self._rotation:
+                dispatched_this_pass = False
+                for _ in range(len(self._rotation)):
+                    client = self._rotation[0]
+                    q = self._queues.get(client)
+                    if not q:
+                        self._rotation.popleft()
+                        self._deficits[client] = 0.0
+                        continue
+                    d = self._deficits[client]
+                    cost = q[0][0]
+                    if d < cost:
+                        d += self.quantum * self._weights.get(client, 1.0)
+                        dispatched_this_pass = True  # deficits grew: progress
+                    if d >= cost:
+                        _, item = q.popleft()
+                        d -= cost
+                        self._deficits[client] = d
+                        self.served[client] = self.served.get(client, 0) + 1
+                        if not q:
+                            # emptied: forfeit credit, leave the rotation
+                            self._rotation.popleft()
+                            self._deficits[client] = 0.0
+                        elif d < q[0][0]:
+                            # visit over: the remaining deficit does not
+                            # cover the next slice — yield the head so the
+                            # next pop visits the next client in rotation
+                            self._rotation.rotate(-1)
+                        return client, item
+                    # slice heavier than one top-up: bank the deficit and
+                    # move to the rotation's back; the outer loop keeps
+                    # topping up each pass, so any finite cost is reached.
+                    self._deficits[client] = d
+                    self._rotation.rotate(-1)
+                if not dispatched_this_pass:
+                    break  # only empty queues were pruned
+            return None
+
+    def drop_client(self, client: Hashable) -> list[Any]:
+        """Remove every queued slice of ``client`` (cancel); returns them."""
+        with self._lock:
+            q = self._queues.pop(client, None)
+            self._deficits[client] = 0.0
+            try:
+                self._rotation.remove(client)
+            except ValueError:
+                pass
+            return [item for _cost, item in q] if q else []
+
+    def drop_items(self, predicate) -> list[Any]:
+        """Remove queued slices matching ``predicate(item)`` (job cancel)."""
+        dropped = []
+        with self._lock:
+            for client in list(self._queues):
+                kept = deque()
+                for cost, item in self._queues[client]:
+                    if predicate(item):
+                        dropped.append(item)
+                    else:
+                        kept.append((cost, item))
+                self._queues[client] = kept
+                if not kept:
+                    try:
+                        self._rotation.remove(client)
+                    except ValueError:
+                        pass
+                    self._deficits[client] = 0.0
+        return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def depth(self, client: Hashable) -> int:
+        with self._lock:
+            q = self._queues.get(client)
+            return len(q) if q else 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "quantum": self.quantum,
+                "depth": sum(len(q) for q in self._queues.values()),
+                "clients": {
+                    str(c): {
+                        "depth": len(q),
+                        "weight": self._weights.get(c, 1.0),
+                        "served": self.served.get(c, 0),
+                    }
+                    for c, q in self._queues.items()
+                },
+                "served_total": sum(self.served.values()),
+            }

@@ -1,0 +1,334 @@
+"""The serve daemon: protocol, fairness, determinism, restart resume.
+
+Two harness styles:
+
+* **threadless** — a :class:`~repro.serve.Daemon` that is never
+  ``start()``-ed: requests go through ``handle_request`` and the
+  executor is driven by hand (``queue.pop`` + ``_run_slice``).  Fully
+  deterministic; used for everything that asserts on interleaving or
+  crash/restart.
+* **live** — a started daemon on a unix socket in ``tmp_path`` with the
+  sim backend, talked to through the real :class:`~repro.serve.Client`.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi, write_edgelist
+from repro.harness.experiment import run_algorithm
+from repro.rng import philox_stream
+from repro.serve import Client, Daemon, ServeConfig, ServeError, wait_server
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(60, 300, philox_stream(3), weighted=True)
+
+
+@pytest.fixture
+def graph_file(graph, tmp_path):
+    path = str(tmp_path / "g.edges")
+    write_edgelist(graph, path)
+    return path
+
+
+def threadless(tmp_path, name="state", **cfg):
+    cfg.setdefault("backend", "sim")
+    cfg.setdefault("wave_size", 4)
+    return Daemon(ServeConfig(bind="", state_dir=str(tmp_path / name),
+                              **cfg))
+
+
+def drive(daemon, until=None, limit=10_000):
+    """Run executor slices by hand until idle (or ``until()`` is true)."""
+    for _ in range(limit):
+        if until is not None and until():
+            return
+        popped = daemon.queue.pop()
+        if popped is None:
+            return
+        job = daemon.jobs.get(popped[1])
+        if job is not None and not job.terminal:
+            daemon._run_slice(job)
+    raise AssertionError("executor did not drain")
+
+
+def submit(daemon, algorithm, path, **fields):
+    doc = {"op": "submit", "algorithm": algorithm, "path": path, **fields}
+    reply = daemon.handle_request(doc)
+    assert reply["ok"], reply
+    return reply["job"]
+
+
+# -- live socket daemon -------------------------------------------------------
+
+
+def test_socket_roundtrip_matches_direct(graph, graph_file, tmp_path):
+    cfg = ServeConfig(bind=str(tmp_path / "s.sock"),
+                      state_dir=str(tmp_path / "state"), backend="sim")
+    with Daemon(cfg) as daemon:
+        wait_server(daemon.address)
+        with Client(daemon.address, client="t") as c:
+            assert c.ping()["version"] >= 1
+            cc = c.run("parallel_cc", graph_file, seed=5)
+            sq = c.run("square_root", graph_file, seed=7)
+    d_cc = run_algorithm("parallel_cc", graph, p=4, seed=5)
+    d_sq = run_algorithm("square_root", graph, p=4, seed=7)
+    assert cc["n_components"] == d_cc.n_components
+    assert cc["labels"] == [int(x) for x in d_cc.labels]
+    assert sq["value"] == d_sq.value
+    assert sq["trials"] == d_sq.trials
+
+
+def test_socket_concurrent_clients_bit_identical_to_solo(
+        graph, graph_file, tmp_path):
+    """Many clients at once: every answer matches its solo run exactly."""
+    cfg = ServeConfig(bind=str(tmp_path / "s.sock"),
+                      state_dir=str(tmp_path / "state"), backend="sim",
+                      wave_size=4)
+    seeds = [7, 11, 13]
+    results = {}
+
+    def one(seed):
+        with Client(cfg.bind, client=f"c{seed}") as c:
+            results[seed] = c.run("square_root", graph_file, seed=seed)
+
+    with Daemon(cfg) as daemon:
+        wait_server(daemon.address)
+        threads = [threading.Thread(target=one, args=(s,)) for s in seeds]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+    for seed in seeds:
+        solo = run_algorithm("square_root", graph, p=4, seed=seed)
+        assert results[seed]["value"] == solo.value, seed
+        assert results[seed]["trials"] == solo.trials
+
+
+def test_socket_shutdown_op_stops_daemon(graph_file, tmp_path):
+    cfg = ServeConfig(bind=str(tmp_path / "s.sock"),
+                      state_dir=str(tmp_path / "state"), backend="sim")
+    daemon = Daemon(cfg)
+    daemon.start()
+    wait_server(daemon.address)
+    with Client(daemon.address) as c:
+        c.shutdown()
+    assert daemon._stopping.wait(10)
+    for t in daemon._threads:
+        t.join(10)
+    # stop() runs on the connection thread; poll for its last step
+    for _ in range(200):
+        if not os.path.exists(cfg.bind):
+            break
+        time.sleep(0.05)
+    assert not os.path.exists(cfg.bind)
+
+
+# -- threadless: protocol -----------------------------------------------------
+
+
+def test_submit_validates(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    assert d.handle_request({"op": "nope"})["error"] == "ProtocolError"
+    assert d.handle_request({"op": "submit", "algorithm": "bogus",
+                      "path": graph_file})["error"] == "ProtocolError"
+    assert d.handle_request({"op": "submit", "algorithm": "parallel_cc",
+                      "path": str(tmp_path / "missing")}
+                     )["error"] == "GraphUnreadable"
+    assert d.handle_request({"op": "status", "job": "jX"}
+                     )["error"] == "ProtocolError"
+
+
+def test_submit_rejects_fingerprint_mismatch(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    bad = d.handle_request({"op": "submit", "algorithm": "parallel_cc",
+                     "path": graph_file, "fingerprint": "f" * 64})
+    assert bad["error"] == "FingerprintMismatch"
+    assert len(d.jobs) == 0          # rejected before anything was queued
+    good_fp = d.handle_request({"op": "submit", "algorithm": "parallel_cc",
+                         "path": graph_file})["fingerprint"]
+    jid = submit(d, "parallel_cc", graph_file, fingerprint=good_fp)
+    drive(d)
+    assert d.jobs[jid].state == "done"
+
+
+def test_cancel_queued_and_running(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    jid = submit(d, "square_root", graph_file, seed=7)
+    d._run_slice(d.jobs[jid])        # now mid-run with waves pending
+    assert d.handle_request({"op": "cancel", "job": jid})["state"] == "cancelled"
+    drive(d)
+    assert d.jobs[jid].state == "cancelled"
+    assert d.handle_request({"op": "result", "job": jid})["error"] == "JobCancelled"
+    assert jid not in d._runs
+
+
+def test_status_and_result_docs(graph, graph_file, tmp_path):
+    d = threadless(tmp_path)
+    jid = submit(d, "parallel_cc", graph_file, seed=5)
+    st = d.handle_request({"op": "status", "job": jid})
+    assert st["state"] == "queued"
+    drive(d)
+    st = d.handle_request({"op": "status", "job": jid})
+    assert st["state"] == "done" and st["waves_done"] == 1
+    res = d.handle_request({"op": "result", "job": jid})["result"]
+    solo = run_algorithm("parallel_cc", graph, p=4, seed=5)
+    assert res["n_components"] == solo.n_components
+
+
+def test_stats_doc(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    submit(d, "parallel_cc", graph_file, client="a")
+    drive(d)
+    st = d.handle_request({"op": "stats"})
+    assert st["jobs"] == {"done": 1}
+    assert st["queue"]["served_total"] == 1
+    assert st["cache"]["graphs"]["entries"] == 1
+
+
+# -- threadless: interleaving, fairness, determinism --------------------------
+
+
+def test_interleaved_jobs_bit_identical_to_solo(graph, graph_file, tmp_path):
+    """Wave interleaving across tenants never changes any job's bits."""
+    d = threadless(tmp_path)
+    jobs = {seed: submit(d, "square_root", graph_file, seed=seed,
+                         client=f"c{seed}")
+            for seed in (7, 11)}
+    drive(d)
+    for seed, jid in jobs.items():
+        solo = run_algorithm("square_root", graph, p=4, seed=seed)
+        job = d.jobs[jid]
+        assert job.result["value"] == solo.value
+        # and the ledger equals a solo scheduled run's, bit for bit
+        from repro.sched import TrialScheduler
+
+        ref = TrialScheduler(wave_size=4).run(graph, 4, backend="sim",
+                                              seed=seed)
+        assert job.result["ledger_fingerprint"] == ref.ledger.fingerprint()
+
+
+def test_fair_queue_bounds_small_job_latency(graph, graph_file, tmp_path):
+    """A one-slice CC query lands while a long min-cut job is mid-flight."""
+    d = threadless(tmp_path)
+    big = submit(d, "square_root", graph_file, seed=7, client="bulk")
+    d._run_slice(d.jobs[big])        # bulk job under way, many waves left
+    small = submit(d, "parallel_cc", graph_file, seed=5, client="quick")
+    drive(d, until=lambda: d.jobs[small].terminal)
+    assert d.jobs[small].state == "done"
+    assert not d.jobs[big].terminal   # CC answered mid-bulk, not after it
+    drive(d)
+    assert d.jobs[big].state == "done"
+
+
+def test_priority_weights_shift_service(graph_file, tmp_path):
+    d = threadless(tmp_path, wave_size=2, quantum=2.0)
+    a = submit(d, "square_root", graph_file, seed=7, client="a",
+               priority=1.0)
+    b = submit(d, "square_root", graph_file, seed=7, client="b",
+               priority=4.0)
+    drive(d, until=lambda: d.jobs[a].terminal or d.jobs[b].terminal)
+    # the 4x-weighted client finishes its identical workload first
+    assert d.jobs[b].terminal and not d.jobs[a].terminal
+    drive(d)
+    assert d.jobs[a].state == "done"
+    assert d.jobs[a].result["value"] == d.jobs[b].result["value"]
+
+
+def test_two_out_jobs_share_cached_plan(graph, graph_file, tmp_path):
+    d = threadless(tmp_path)
+    j1 = submit(d, "square_root", graph_file, seed=7, variant="2out")
+    j2 = submit(d, "square_root", graph_file, seed=7, variant="2out",
+                client="other")
+    drive(d)
+    solo = run_algorithm("square_root", graph, p=4, seed=7, variant="2out")
+    assert d.jobs[j1].result["value"] == solo.value
+    assert d.jobs[j1].result == d.jobs[j2].result
+    st = d.cache.stats()["derivatives"]
+    assert st["entries"] == 1 and st["hits"] == 1   # plan computed once
+
+
+def test_graph_eviction_reload_mid_queue(graph, graph_file, tmp_path):
+    """A job whose graph was evicted reloads it transparently — and the
+    reload still validates against the job's pinned fingerprint."""
+    other = erdos_renyi(90, 400, philox_stream(9), weighted=True)
+    opath = str(tmp_path / "o.edges")
+    write_edgelist(other, opath)
+    d = threadless(tmp_path, cache_edges=max(graph.m, other.m))
+    jid = submit(d, "parallel_cc", graph_file, seed=5)
+    submit(d, "parallel_cc", opath, seed=5)   # evicts the first graph
+    assert d.cache.get_graph(d.jobs[jid].fingerprint) is None
+    drive(d)
+    solo = run_algorithm("parallel_cc", graph, p=4, seed=5)
+    assert d.jobs[jid].result["n_components"] == solo.n_components
+
+
+# -- threadless: restart resume -----------------------------------------------
+
+
+def test_restart_resumes_bit_identically(graph, graph_file, tmp_path):
+    state = str(tmp_path / "state")
+    d1 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim",
+                            wave_size=4))
+    jid = submit(d1, "square_root", graph_file, seed=7)
+    for _ in range(3):                       # a few waves, then "crash"
+        popped = d1.queue.pop()
+        d1._run_slice(d1.jobs[popped[1]])
+    assert 0 < d1.jobs[jid].waves_done < d1.jobs[jid].waves_total
+    del d1                                   # no stop(): simulated kill
+
+    d2 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim",
+                            wave_size=4))
+    job = d2.jobs[jid]
+    assert job.state == "queued" and job.waves_done == 3
+    drive(d2)
+    assert job.state == "done"
+    assert job.waves_done == job.waves_total
+
+    # bit-identical to an uninterrupted daemon and to a solo run
+    d3 = Daemon(ServeConfig(bind="", state_dir=str(tmp_path / "s3"),
+                            backend="sim", wave_size=4))
+    j3 = submit(d3, "square_root", graph_file, seed=7)
+    drive(d3)
+    uninterrupted = d3.jobs[j3].result
+    assert job.result["value"] == uninterrupted["value"]
+    assert (job.result["ledger_fingerprint"]
+            == uninterrupted["ledger_fingerprint"])
+    solo = run_algorithm("square_root", graph, p=4, seed=7)
+    assert job.result["value"] == solo.value
+
+
+def test_restart_keeps_terminal_results(graph_file, tmp_path):
+    state = str(tmp_path / "state")
+    d1 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    jid = submit(d1, "parallel_cc", graph_file, seed=5)
+    drive(d1)
+    result = d1.jobs[jid].result
+    del d1
+    d2 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    assert d2.jobs[jid].state == "done"
+    assert d2.jobs[jid].result == result
+    assert len(d2.queue) == 0                # nothing requeued
+
+
+def test_failed_job_reports_error(graph, tmp_path):
+    # graph file deleted (and cache flushed) between submit and execution
+    path = str(tmp_path / "doomed.edges")
+    write_edgelist(graph, path)
+    d = threadless(tmp_path)
+    jid = submit(d, "parallel_cc", path)
+    os.unlink(path)
+    d.cache.graphs.clear()
+    popped = d.queue.pop()
+    try:
+        d._run_slice(d.jobs[popped[1]])
+    except Exception as exc:          # the executor loop's failure path
+        d._finish_job(d.jobs[jid], error=f"{type(exc).__name__}: {exc}")
+    assert d.jobs[jid].state == "failed"
+    reply = d.handle_request({"op": "result", "job": jid})
+    assert reply["error"] == "JobFailed"

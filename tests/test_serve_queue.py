@@ -1,0 +1,114 @@
+"""Deficit-round-robin fair queue (repro.serve.queue)."""
+
+import pytest
+
+from repro.serve.queue import DeficitFairQueue
+
+
+def drain(q, limit=1000):
+    order = []
+    for _ in range(limit):
+        popped = q.pop()
+        if popped is None:
+            break
+        order.append(popped)
+    return order
+
+
+def test_single_client_fifo():
+    q = DeficitFairQueue(quantum=1.0)
+    for i in range(5):
+        q.push("a", i)
+    assert [item for _, item in drain(q)] == [0, 1, 2, 3, 4]
+    assert q.pop() is None
+
+
+def test_equal_clients_interleave():
+    q = DeficitFairQueue(quantum=1.0)
+    for i in range(4):
+        q.push("a", f"a{i}")
+        q.push("b", f"b{i}")
+    order = [c for c, _ in drain(q)]
+    # each round serves each client once: strict alternation
+    assert order == ["a", "b"] * 4
+
+
+def test_weight_scales_share():
+    q = DeficitFairQueue(quantum=1.0)
+    q.set_weight("heavy", 2.0)
+    for i in range(12):
+        q.push("heavy", i)
+        q.push("light", i)
+    first9 = [c for c, _ in [q.pop() for _ in range(9)]]
+    # weight 2 drains twice as fast: 2:1 service ratio
+    assert first9.count("heavy") == 2 * first9.count("light")
+
+
+def test_cost_heavier_than_quantum_still_dispatches():
+    q = DeficitFairQueue(quantum=1.0)
+    q.push("a", "big", cost=5.0)
+    q.push("b", "small", cost=1.0)
+    order = drain(q)
+    assert ("a", "big") in order and ("b", "small") in order
+    # the cheap slice is not stuck behind the expensive one
+    assert order.index(("b", "small")) < order.index(("a", "big"))
+
+
+def test_emptied_client_forfeits_deficit():
+    q = DeficitFairQueue(quantum=10.0)
+    q.push("a", 1, cost=1.0)
+    q.pop()
+    # queue drained: banked credit must be gone on the next burst
+    q.push("a", 2, cost=1.0)
+    q.push("b", 3, cost=1.0)
+    order = [c for c, _ in drain(q)]
+    assert sorted(order) == ["a", "b"]
+    assert q._deficits["a"] == 0.0
+
+
+def test_drop_client_removes_all():
+    q = DeficitFairQueue()
+    for i in range(3):
+        q.push("a", i)
+    q.push("b", "keep")
+    assert sorted(q.drop_client("a")) == [0, 1, 2]
+    assert [item for _, item in drain(q)] == ["keep"]
+
+
+def test_drop_items_predicate():
+    q = DeficitFairQueue()
+    for i in range(6):
+        q.push("a" if i % 2 else "b", i)
+    dropped = q.drop_items(lambda item: item >= 4)
+    assert sorted(dropped) == [4, 5]
+    assert sorted(item for _, item in drain(q)) == [0, 1, 2, 3]
+
+
+def test_reactivation_after_idle():
+    q = DeficitFairQueue()
+    q.push("a", 1)
+    assert q.pop() == ("a", 1)
+    assert q.pop() is None
+    q.push("a", 2)
+    assert q.pop() == ("a", 2)
+
+
+def test_validation():
+    q = DeficitFairQueue()
+    with pytest.raises(ValueError):
+        DeficitFairQueue(quantum=0)
+    with pytest.raises(ValueError):
+        q.push("a", 1, cost=0)
+    with pytest.raises(ValueError):
+        q.set_weight("a", -1)
+
+
+def test_stats_and_len():
+    q = DeficitFairQueue(quantum=2.0)
+    q.push("a", 1, cost=1.0, weight=3.0)
+    q.push("a", 2)
+    assert len(q) == 2 and q.depth("a") == 2
+    q.pop()
+    st = q.stats()
+    assert st["served_total"] == 1
+    assert st["clients"]["a"]["weight"] == 3.0
