@@ -37,6 +37,14 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   the served-equals-direct ``results_match`` flag, and the >= 3x
   warm-repeat-over-cold-one-shot latency floor.  Raw seconds are
   recorded in ``results/BENCH_serve.json`` but never gated.
+* **Fusion fingerprints** — superstep fusion and group-shrink headline
+  numbers from :mod:`benchmarks.bench_fusion`: exact superstep and
+  total-ops counts per configuration (the schedule is deterministic, so
+  drift means the fusion/shrink decisions changed), the bit-identical
+  ``values_match`` flags, the >= 1.3x predicted-time reduction floor on
+  the dense approximate-min-cut workload (cluster machine profile) and
+  the >= 1.2x total-work reduction floor from group-shrink on the
+  multi-round CC workload.
 
 Usage::
 
@@ -64,6 +72,9 @@ from bench_serve import WARM_SPEEDUP_FLOOR
 from bench_serve import run_benchmarks as run_serve_benchmarks
 from bench_two_out import REDUCTION_FLOOR
 from bench_two_out import run_benchmarks as run_two_out_benchmarks
+from bench_fusion import OPS_REDUCTION_FLOOR as FUSION_OPS_FLOOR
+from bench_fusion import REDUCTION_FLOOR as FUSION_REDUCTION_FLOOR
+from bench_fusion import run_benchmarks as run_fusion_benchmarks
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 BASELINE_PATH = RESULTS_DIR / "perf_baseline.json"
@@ -177,6 +188,28 @@ def serve_fingerprints(seed: int = 0) -> dict:
     }
 
 
+def fusion_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
+    """Deterministic fusion/shrink-gate fields from bench_fusion."""
+    r = run_fusion_benchmarks(scale=scale, seed=seed)
+    a, c = r["appmc_dense"], r["cc_multiround"]
+    return {
+        "appmc_supersteps_base": a["cluster"]["base"]["supersteps"],
+        "appmc_supersteps_fused": a["cluster"]["fused_shrink"]["supersteps"],
+        "appmc_reduction": a["reduction"],
+        "appmc_default_reduction": a["default_reduction"],
+        "appmc_values_match": a["values_match"],
+        "cc_supersteps_base": c["default"]["base"]["supersteps"],
+        "cc_supersteps_fused": c["default"]["fused"]["supersteps"],
+        "cc_total_ops_base": c["default"]["base"]["total_ops"],
+        "cc_total_ops_shrunk": c["default"]["fused_shrink"]["total_ops"],
+        "cc_ops_reduction": c["ops_reduction"],
+        "cc_shrink_fired": c["shrink_fired"],
+        "cc_released_min_supersteps": c["released_min_supersteps"],
+        "cc_max_supersteps": c["max_supersteps"],
+        "cc_values_match": c["values_match"],
+    }
+
+
 def measure(scale: float = 1.0, seed: int = 0) -> dict:
     """Run all baseline sections and return the combined record."""
     return {
@@ -186,6 +219,7 @@ def measure(scale: float = 1.0, seed: int = 0) -> dict:
         "sched": sched_fingerprints(scale=scale, seed=seed),
         "two_out": two_out_fingerprints(scale=scale, seed=seed),
         "serve": serve_fingerprints(seed=seed),
+        "fusion": fusion_fingerprints(scale=scale, seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -356,6 +390,41 @@ def _check_serve(base: dict | None, now: dict, lines: list[str]) -> bool:
     return ok
 
 
+def _check_fusion(base: dict | None, now: dict, lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  fusion: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    # Exact drift checks: the fusion/shrink schedule is deterministic, so
+    # superstep counts or total work moving means the merge decisions or
+    # the shrink trigger changed.
+    for key in ("appmc_supersteps_base", "appmc_supersteps_fused",
+                "cc_supersteps_base", "cc_supersteps_fused",
+                "cc_total_ops_base", "cc_total_ops_shrunk",
+                "cc_released_min_supersteps", "cc_max_supersteps"):
+        if base[key] != now[key]:
+            ok = False
+            lines.append(f"  fusion.{key}: baseline={base[key]!r} "
+                         f"current={now[key]!r}")
+    # Acceptance bars, re-proved on every run.
+    for flag in ("appmc_values_match", "cc_values_match", "cc_shrink_fired"):
+        if not now[flag]:
+            ok = False
+            lines.append(f"  fusion.{flag}: False")
+    if now["appmc_reduction"] < FUSION_REDUCTION_FLOOR:
+        ok = False
+        lines.append(
+            f"  fusion.appmc_reduction: {now['appmc_reduction']:.2f}x is "
+            f"under the {FUSION_REDUCTION_FLOOR:g}x predicted-time floor")
+    if now["cc_ops_reduction"] < FUSION_OPS_FLOOR:
+        ok = False
+        lines.append(
+            f"  fusion.cc_ops_reduction: {now['cc_ops_reduction']:.2f}x is "
+            f"under the {FUSION_OPS_FLOOR:g}x total-work floor")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -371,8 +440,9 @@ def check(scale: float, seed: int, slack: float) -> int:
     sched_ok = _check_sched(base.get("sched"), now["sched"], lines)
     two_out_ok = _check_two_out(base.get("two_out"), now["two_out"], lines)
     serve_ok = _check_serve(base.get("serve"), now["serve"], lines)
+    fusion_ok = _check_fusion(base.get("fusion"), now["fusion"], lines)
     if (counters_ok and timings_ok and transport_ok and sched_ok
-            and two_out_ok and serve_ok):
+            and two_out_ok and serve_ok and fusion_ok):
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
         segs = ", ".join(
@@ -386,7 +456,11 @@ def check(scale: float, seed: int, slack: float) -> int:
               f"bit-identical crash recovery, 2-out trial reduction "
               f"{now['two_out']['reduction']:.1f}x exact, serve warm "
               f"speedup {now['serve']['min_warm_speedup']:.1f}x with "
-              f"matching served answers")
+              f"matching served answers, fusion reduction "
+              f"{now['fusion']['appmc_reduction']:.2f}x and shrink "
+              f"total-work reduction "
+              f"{now['fusion']['cc_ops_reduction']:.2f}x with bit-identical "
+              f"results")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

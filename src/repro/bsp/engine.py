@@ -26,6 +26,7 @@ from repro.bsp.arrays import ArrayBundle
 from repro.bsp.comm import CollectiveOp, Communicator, Group, payload_words
 from repro.bsp.counters import CountersReport, ProcCounters
 from repro.bsp.errors import CollectiveMismatchError, DeadlockError
+from repro.bsp.fusion import FUSABLE_KINDS, FusionConfig, as_fusion_config
 from repro.bsp.machine import MachineModel, TimeEstimate
 from repro.cache.model import CacheParams
 from repro.rng.streams import RngStreams
@@ -162,7 +163,8 @@ class Engine:
     def __init__(self, cache: CacheParams | None = None,
                  machine: MachineModel | None = None,
                  trace: bool = False,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 fuse: bool | FusionConfig | None = None):
         if trace and tracer is not None:
             raise ValueError(
                 "pass either trace=True (a default RecordingTracer) or an "
@@ -174,8 +176,17 @@ class Engine:
             RecordingTracer() if trace else NULL_TRACER
         )
         self.trace = self._tracer.enabled
+        #: Automatic adjacent-fusion policy; None (default) disables the
+        #: merge so superstep counts match the pre-fusion engine exactly.
+        #: Explicit ``comm.batch`` requests work regardless of this.
+        self.fuse = as_fusion_config(fuse)
         self._next_gid = 0
         self._split_seq: dict[int, int] = {}
+        # Auto-fusion bookkeeping (reset per run; see _execute):
+        self._last_sync: dict[int, tuple[int, bool]] = {}   # rank -> (gid, mergeable)
+        self._post_sync: dict[int, tuple[float, float]] = {}  # rank -> (ops, misses)
+        self._chain: dict[int, int] = {}        # gid -> collectives this superstep
+        self._chain_words: dict[int, int] = {}  # gid -> words this superstep
 
     def _new_group(self, members: tuple[int, ...]) -> Group:
         self._next_gid += 1
@@ -213,6 +224,10 @@ class Engine:
         # function of (program, p, seed), even on a reused engine.
         self._next_gid = 0
         self._split_seq = {}
+        self._last_sync = {}
+        self._post_sync = {}
+        self._chain = {}
+        self._chain_words = {}
         tracer = self._tracer
         events_before = len(tracer)
         streams = RngStreams(seed)
@@ -331,16 +346,48 @@ class Engine:
         ops.sort(key=lambda o: o.local_rank)
         kind = ops[0].kind
         members = group.members
+        gid = group.gid
+        fuse = self.fuse
 
-        # Synchronization accounting: supersteps + imbalance wait.
-        since_sync = [
-            counters[m].ops - counters[m].ops_at_last_sync for m in members
-        ]
-        slowest = max(since_sync)
-        for m, c in zip(members, since_sync):
-            counters[m].wait_ops += slowest - c
-            counters[m].ops_at_last_sync = counters[m].ops
-            counters[m].supersteps += 1
+        # Adjacent fusion: when every member reached this collective with
+        # *zero* local charges since this group's previous one, a real
+        # runtime would piggyback it on the same synchronization — merge it
+        # retroactively into the group's current superstep.  The cleanliness
+        # precondition makes the merge a pure latency elision: since-sync
+        # values are all zero, so skipping the sync block changes neither
+        # wait nor ops_at_last_sync, only the superstep count.
+        merged = False
+        words = -1
+        track = fuse is not None or self._tracer.enabled
+        clean: tuple[bool, ...] = ()
+        if track:
+            # Arrival cleanliness: no local (ops, misses) charges since the
+            # member's previous sync.  Feeds both the merge decision and
+            # the trace record (the analyzer cannot recover it offline).
+            clean = tuple(
+                self._post_sync.get(m, (0.0, 0.0))
+                == (counters[m].ops, counters[m].misses)
+                for m in members
+            )
+        if fuse is not None and fuse.auto and kind in FUSABLE_KINDS:
+            words = sum(payload_words(op.payload) for op in ops)
+            merged = (
+                self._chain.get(gid, 0) + 1 <= fuse.max_chain
+                and self._chain_words.get(gid, 0) + words <= fuse.max_words
+                and all(self._last_sync.get(m) == (gid, True) for m in members)
+                and all(clean)
+            )
+
+        if not merged:
+            # Synchronization accounting: supersteps + imbalance wait.
+            since_sync = [
+                counters[m].ops - counters[m].ops_at_last_sync for m in members
+            ]
+            slowest = max(since_sync)
+            for m, c in zip(members, since_sync):
+                counters[m].wait_ops += slowest - c
+                counters[m].ops_at_last_sync = counters[m].ops
+                counters[m].supersteps += 1
 
         if kind in ROOTED_KINDS:
             roots = {op.root for op in ops}
@@ -355,11 +402,38 @@ class Engine:
         if self._tracer.enabled:
             # Post-collective cumulative snapshots: the tracer derives the
             # exact since-sync deltas itself (ops[i].sender == members[i]).
-            self._tracer.on_collective(
-                kind=kind, gid=group.gid, participants=members,
-                words=sum(payload_words(op.payload) for op in ops),
-                snapshots=[counters[m].snapshot() for m in members],
+            if words < 0:
+                words = sum(payload_words(op.payload) for op in ops)
+            snapshots = [counters[m].snapshot() for m in members]
+            if merged:
+                self._tracer.on_merge(
+                    kind=kind, gid=gid, participants=members,
+                    words=words, snapshots=snapshots,
+                )
+            else:
+                self._tracer.on_collective(
+                    kind=kind, gid=gid, participants=members,
+                    words=words, snapshots=snapshots,
+                    fused=tuple(s.kind for s in ops[0].payload)
+                    if kind == "fused" else (),
+                    clean=clean,
+                )
+        if track:
+            self._post_sync.update(
+                (m, (counters[m].ops, counters[m].misses)) for m in members
             )
+        if fuse is not None:
+            if words < 0:
+                words = sum(payload_words(op.payload) for op in ops)
+            weight = len(ops[0].payload) if kind == "fused" else 1
+            self._chain[gid] = (self._chain.get(gid, 0) + weight if merged
+                                else weight)
+            self._chain_words[gid] = (
+                self._chain_words.get(gid, 0) + words if merged else words
+            )
+            mergeable = kind in FUSABLE_KINDS or kind == "fused"
+            for m in members:
+                self._last_sync[m] = (gid, mergeable)
         for op, res in zip(ops, results):
             inbox[op.sender] = res
 
@@ -556,6 +630,68 @@ class Engine:
             self._charge(counters, op.sender, 1, 1)
         return [new_comm[op.sender] for op in ops]
 
+    # -- explicit superstep fusion ------------------------------------------
+
+    def _iter_fused(self, group: Group, ops: list[CollectiveOp]):
+        """Validate an aligned ``fused`` batch; yield (kind, sub_ops) per slot.
+
+        ``ops`` are the members' batch requests in local-rank order; slot
+        ``i`` of every member must carry the same collective kind (and, for
+        rooted kinds, the same root).  Shared with the mp coordinator so
+        both backends reject malformed batches identically.
+        """
+        n = len(ops[0].payload)
+        for op in ops:
+            if not isinstance(op.payload, tuple) or len(op.payload) != n:
+                sizes = {o.sender: len(o.payload) if isinstance(o.payload, tuple)
+                         else None for o in ops}
+                raise CollectiveMismatchError(
+                    f"group {group.gid} members issued batches of different "
+                    f"lengths: {sizes}"
+                )
+        for i in range(n):
+            subs = []
+            for op in ops:
+                sub = op.payload[i]
+                if not isinstance(sub, CollectiveOp) or sub.sender != op.sender:
+                    raise CollectiveMismatchError(
+                        f"batch slot {i} of rank {op.sender} is not that "
+                        "rank's own collective descriptor"
+                    )
+                subs.append(sub)
+            kinds = {s.kind for s in subs}
+            if len(kinds) != 1:
+                detail = {s.sender: s.kind for s in subs}
+                raise CollectiveMismatchError(
+                    f"group {group.gid} batch slot {i} mixes collective "
+                    f"kinds: {detail}"
+                )
+            kind = subs[0].kind
+            if kind not in FUSABLE_KINDS:
+                raise CollectiveMismatchError(
+                    f"collective kind {kind!r} cannot run inside a batch"
+                )
+            if kind in ROOTED_KINDS:
+                roots = {s.root for s in subs}
+                if len(roots) != 1:
+                    raise CollectiveMismatchError(
+                        f"group {group.gid} batch slot {i} members disagree "
+                        f"on the {kind} root: {roots}"
+                    )
+            yield kind, subs
+
+    def _exec_fused(self, group, ops, counters, ctxs):
+        # One superstep (the sync accounting already ran once for the whole
+        # batch); the sub-collectives execute back-to-back, charging their
+        # ordinary computation/transfer/miss costs in batch order.  Each
+        # member receives the tuple of its sub-results.
+        results: list[list[Any]] = [[] for _ in ops]
+        for kind, subs in self._iter_fused(group, ops):
+            handler = getattr(self, f"_exec_{kind}")
+            for acc, res in zip(results, handler(group, subs, counters, ctxs)):
+                acc.append(res)
+        return [tuple(acc) for acc in results]
+
 
 def run_spmd(
     program: Callable[..., Generator],
@@ -568,14 +704,18 @@ def run_spmd(
     machine: MachineModel | None = None,
     trace: bool = False,
     tracer: Tracer | None = None,
+    fuse: bool | FusionConfig | None = None,
 ) -> RunResult:
     """One-shot convenience wrapper: build an :class:`Engine` and run.
 
     Shares :meth:`Engine.run`'s processor-count contract: ``p`` must be an
     integer >= 1, enforced with ``TypeError``/``ValueError`` before any
     program code runs.  ``trace=True`` (or an explicit ``tracer``) records
-    the per-superstep event stream in ``RunResult.trace``.
+    the per-superstep event stream in ``RunResult.trace``; ``fuse=True``
+    (or a :class:`~repro.bsp.fusion.FusionConfig`) enables automatic
+    adjacent superstep fusion.
     """
-    return Engine(cache=cache, machine=machine, trace=trace, tracer=tracer).run(
+    return Engine(cache=cache, machine=machine, trace=trace, tracer=tracer,
+                  fuse=fuse).run(
         program, p, seed=seed, args=args, kwargs=kwargs
     )

@@ -1,0 +1,94 @@
+"""Superstep fusion policy: which collectives may share one latency charge.
+
+The paper's cost model bills every synchronization one latency ``L`` (times
+``log p`` for the MPI collective implementation).  Back-to-back *small*
+collectives on the same group — an ``allreduce`` of one scalar followed
+immediately by another, with no local computation in between — each pay that
+L today even though a real runtime would piggyback them on a single round
+trip.  Fusion merges such neighbours into **one superstep**: one L, the
+combined h-relation, and — critically — bit-identical results, computation,
+transfer and miss counters, because fusion only elides synchronizations, it
+never reorders or re-associates any charge.
+
+Two mechanisms share this policy module:
+
+* **Explicit batches** (:meth:`repro.bsp.comm.Communicator.batch`): the
+  program yields one ``fused`` collective carrying several sub-operations,
+  which the engine executes back-to-back inside a single superstep.
+  Always available; needs no engine configuration.
+* **Automatic adjacent fusion** (``Engine(fuse=...)``): the engine notices
+  that every member of a group arrived at a new collective with *no local
+  charges* since that group's previous collective, and retroactively merges
+  the new collective into the previous superstep.  Opt-in, governed by a
+  :class:`FusionConfig`.
+
+Both are restricted to :data:`FUSABLE_KINDS` — collectives whose results do
+not change group membership (``split`` creates communicators and must remain
+its own synchronization point) — and to small payloads, mirroring the
+"latency-bound message" regime where fusion pays off on a real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FusionConfig", "FUSABLE_KINDS", "as_fusion_config"]
+
+#: Collective kinds eligible for fusion (explicit batches and auto-merge).
+#: ``split`` is excluded because its result is a new communicator (group
+#: structure must be settled between supersteps); ``scatter``/``scatterv``
+#: and the all-to-alls are excluded because their payloads are root- or
+#: matrix-shaped and essentially never latency-bound; nested ``fused``
+#: batches are flattened by chaining, not nesting.
+FUSABLE_KINDS = frozenset({
+    "barrier", "bcast", "gather", "allgather", "reduce", "allreduce",
+    "gatherv", "allgatherv",
+})
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """Tunables for automatic adjacent fusion.
+
+    Parameters
+    ----------
+    auto:
+        Enable the engine's retroactive adjacent-merge.  When ``False``
+        only explicit ``comm.batch`` requests fuse.
+    max_words:
+        Upper bound on the *combined* payload words of one fused
+        superstep; collectives that would push the running superstep past
+        this stay unfused (big transfers are bandwidth-bound, and fusing
+        them would hide real h-relation serialization).
+    max_chain:
+        Maximum number of collectives merged into one superstep.  Bounds
+        the latency win per superstep and keeps traces legible.
+    """
+
+    auto: bool = True
+    max_words: int = 4096
+    max_chain: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_words < 1:
+            raise ValueError(f"max_words must be >= 1, got {self.max_words}")
+        if self.max_chain < 2:
+            raise ValueError(f"max_chain must be >= 2, got {self.max_chain}")
+
+
+def as_fusion_config(fuse) -> FusionConfig | None:
+    """Normalize the ``fuse=`` argument accepted across backends.
+
+    ``None``/``False`` disable auto-fusion (the default — blessed baselines
+    keep their superstep counts), ``True`` selects the default
+    :class:`FusionConfig`, and a ready config passes through.
+    """
+    if fuse is None or fuse is False:
+        return None
+    if fuse is True:
+        return FusionConfig()
+    if isinstance(fuse, FusionConfig):
+        return fuse
+    raise TypeError(
+        f"fuse must be None, a bool, or a FusionConfig, got {type(fuse).__name__}"
+    )

@@ -43,6 +43,15 @@ loaded graphs warm across queries; ``query`` is the blocking client::
     python -m repro.cli query /tmp/repro.sock square_root g.txt --seed 1
     python -m repro.cli query /tmp/repro.sock --shutdown
 
+``--trace PATH`` records a per-superstep JSON-lines trace;
+``analyze-trace`` replays one offline, ranking the heaviest supersteps
+under the machine model and emitting a fusion plan (which adjacent
+collectives ``--fuse`` would merge, and what that saves)::
+
+    python -m repro.cli parallel_cc g.txt --procs 8 --trace t.jsonl \
+        --fuse --shrink
+    python -m repro.cli analyze-trace t.jsonl --top 5 --plan plan.json
+
 ``--variant 2out`` (``repro.core.two_out``) runs the random 2-out
 contraction preprocessing first and dispatches the recomputed — usually
 far smaller — trial budget on the contracted replicas, printing a
@@ -86,14 +95,23 @@ def _profile_line(path, seed, p, g, time, tag, result) -> str:
 
 def _backend_spec(args):
     """The ``backend=`` value for the algorithm entry point: the plain
-    name, or — under ``--trace`` — a resolved backend carrying a fresh
-    :class:`~repro.trace.tracer.RecordingTracer`."""
-    if not getattr(args, "trace", None):
+    name, or — under ``--trace``/``--fuse`` — a resolved backend carrying
+    a fresh :class:`~repro.trace.tracer.RecordingTracer` and/or the
+    superstep-fusion config."""
+    trace = getattr(args, "trace", None)
+    fuse = getattr(args, "fuse", False)
+    if not trace and not fuse:
         return args.backend
     from repro.runtime.base import resolve_backend
-    from repro.trace import RecordingTracer
 
-    return resolve_backend(args.backend, tracer=RecordingTracer())
+    kw = {}
+    if trace:
+        from repro.trace import RecordingTracer
+
+        kw["tracer"] = RecordingTracer()
+    if fuse:
+        kw["fuse"] = True
+    return resolve_backend(args.backend, **kw)
 
 
 def _emit_trace(args, trace) -> None:
@@ -110,6 +128,7 @@ def _emit_trace(args, trace) -> None:
 def _cmd_parallel_cc(args) -> int:
     g = read_edgelist(args.input)
     res = connected_components(g, p=args.procs, seed=args.seed,
+                               shrink=args.shrink,
                                backend=_backend_spec(args))
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "cc", res.n_components))
@@ -121,7 +140,7 @@ def _cmd_approx_cut(args) -> int:
     g = read_edgelist(args.input)
     res = approx_minimum_cut(
         g, p=args.procs, seed=args.seed, pipelined=args.pipelined,
-        backend=_backend_spec(args),
+        shrink=args.shrink, backend=_backend_spec(args),
     )
     print(_profile_line(args.input, args.seed, args.procs, g,
                         res.time, "approx_cut", f"{res.estimate:g}"))
@@ -168,11 +187,14 @@ def _cmd_square_root(args) -> int:
         s = res.two_out
         path = ("degraded to the default pipeline" if s.degraded else
                 f"{s.total_trials} trials over {s.replicas} replicas")
+        # The degraded fallback runs the default pipeline without a
+        # per-trial ledger, so it reports no achieved success probability.
+        achieved = ("n/a" if res.achieved_success_prob is None else
+                    f"{res.achieved_success_prob:.6f}")
         print(
             f"two_out: {path}, default budget {s.default_trials}, "
             f"reduction {s.reduction:.2f}x, achieved success probability "
-            f"{res.achieved_success_prob:.6f} "
-            f"(requested {args.success_prob:g})"
+            f"{achieved} (requested {args.success_prob:g})"
         )
     if scheduler is not None and res.ledger is not None:
         ledger = res.ledger
@@ -252,6 +274,33 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_analyze_trace(args) -> int:
+    """Offline analyzer over a recorded JSON-lines trace."""
+    import json
+
+    from repro.bsp.fusion import FusionConfig
+    from repro.trace import (
+        format_analysis,
+        fusion_plan,
+        read_jsonl,
+    )
+
+    events = read_jsonl(args.trace_file)
+    fuse = FusionConfig(max_words=args.max_words, max_chain=args.max_chain)
+    if args.plan or args.json:
+        plan = fusion_plan(events, fuse=fuse)
+        if args.plan:
+            with open(args.plan, "w") as fh:
+                json.dump(plan, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"fusion plan -> {args.plan}")
+        if args.json:
+            print(json.dumps(plan, sort_keys=True))
+    if not args.json:
+        print(format_analysis(events, fuse=fuse, k=args.top))
+    return 0
+
+
 _FAMILIES = ("er", "ws", "ba", "rmat")
 
 
@@ -293,13 +342,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record one trace event per collective per "
                              "group to this JSON-lines file and print a "
                              "per-superstep summary table")
+        sp.add_argument("--fuse", action="store_true",
+                        help="fuse adjacent compatible collectives into "
+                             "one superstep (repro.bsp.fusion); results "
+                             "are bit-identical, only latency drops")
+
+    def shrinkable(sp):
+        sp.add_argument("--shrink", action="store_true",
+                        help="release processors whose edge slice has "
+                             "contracted away (group-shrink); results are "
+                             "bit-identical")
 
     sp = sub.add_parser("parallel_cc", help="connected components (§3.2)")
     common(sp)
+    shrinkable(sp)
     sp.set_defaults(func=_cmd_parallel_cc)
 
     sp = sub.add_parser("approx_cut", help="approximate minimum cut (§3.3)")
     common(sp)
+    shrinkable(sp)
     sp.add_argument("--pipelined", action="store_true",
                     help="single-CC pipelined schedule (O(1) supersteps)")
     sp.set_defaults(func=_cmd_approx_cut)
@@ -394,6 +455,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="ask the daemon to stop gracefully")
     sp.set_defaults(func=_cmd_query)
 
+    sp = sub.add_parser(
+        "analyze-trace",
+        help="rank heavy supersteps and detect fusible sequences in a "
+             "recorded trace (repro.trace.analyze)")
+    sp.add_argument("trace_file", help="JSON-lines trace (from --trace)")
+    sp.add_argument("--top", type=int, default=10,
+                    help="how many heaviest supersteps to list (default 10)")
+    sp.add_argument("--max-words", type=int, default=4096,
+                    help="fusion config: combined payload cap in words")
+    sp.add_argument("--max-chain", type=int, default=16,
+                    help="fusion config: max collectives per fused "
+                         "superstep")
+    sp.add_argument("--json", action="store_true",
+                    help="print the fusion plan as JSON instead of the "
+                         "report")
+    sp.add_argument("--plan", metavar="PATH", default=None,
+                    help="also write the fusion plan JSON to this file")
+    sp.set_defaults(func=_cmd_analyze_trace)
+
     sp = sub.add_parser("generate", help="generate a benchmark input graph")
     sp.add_argument("--family", choices=_FAMILIES, required=True)
     sp.add_argument("--n", type=int, required=True)
@@ -469,6 +549,15 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
             parser.error(f"--trace directory does not exist: {d}")
         if not os.access(d, os.W_OK):
             parser.error(f"--trace directory is not writable: {d}")
+    if getattr(args, "command", None) == "analyze-trace":
+        if not os.path.isfile(args.trace_file):
+            parser.error(f"trace file does not exist: {args.trace_file}")
+        if args.top < 1:
+            parser.error(f"--top must be >= 1, got {args.top}")
+        if args.max_words < 1:
+            parser.error(f"--max-words must be >= 1, got {args.max_words}")
+        if args.max_chain < 2:
+            parser.error(f"--max-chain must be >= 2, got {args.max_chain}")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -77,12 +77,16 @@ def appmc_program(
     pipelined: bool = False,
     eps: float = 0.25,
     delta: float = 0.5,
+    shrink: bool = False,
 ):
     """SPMD program for the approximate minimum cut.
 
     Returns ``(estimate, witness_value, witness_side)`` at rank 0 (witness
     entries are ``None`` when no disconnection was found within the level
-    range); ``(estimate, None, None)`` elsewhere.
+    range); ``(estimate, None, None)`` elsewhere.  ``shrink=True`` is
+    forwarded to every :func:`~repro.core.components.cc_kernel` call (each
+    shrunk group rejoins the full communicator before the kernel returns,
+    so the surrounding protocol is unchanged).
     """
     comm = ctx.comm
     root = 0
@@ -98,7 +102,7 @@ def appmc_program(
 
     # (2) Connectivity precheck: a disconnected input has cut value 0.
     labels, count = yield from cc_kernel(
-        ctx, comm, u, v, n, eps=eps, delta=delta, root=root
+        ctx, comm, u, v, n, eps=eps, delta=delta, root=root, shrink=shrink
     )
     count = yield from comm.bcast(count if ctx.rank == root else None, root=root)
     if count > 1:
@@ -128,7 +132,8 @@ def appmc_program(
         pairs = [(i, t) for i in range(1, n_levels + 1) for t in range(trials)]
         uu, vv = _sample_level_union(ctx, u, v, w, n, pairs)
         labels_union, _ = yield from cc_kernel(
-            ctx, comm, uu, vv, n * len(pairs), eps=eps, delta=delta, root=root
+            ctx, comm, uu, vv, n * len(pairs), eps=eps, delta=delta,
+            root=root, shrink=shrink,
         )
         if ctx.rank == root:
             disc = _blocks_disconnected(labels_union, n, len(pairs))
@@ -156,7 +161,8 @@ def appmc_program(
             pairs = [(level, t) for t in range(trials)]
             uu, vv = _sample_level_union(ctx, u, v, w, n, pairs)
             labels_union, _ = yield from cc_kernel(
-                ctx, comm, uu, vv, n * trials, eps=eps, delta=delta, root=root
+                ctx, comm, uu, vv, n * trials, eps=eps, delta=delta,
+                root=root, shrink=shrink,
             )
             if ctx.rank == root:
                 disc = _blocks_disconnected(labels_union, n, trials)
@@ -218,6 +224,8 @@ def approx_minimum_cut(
     pipelined: bool = False,
     eps: float = 0.25,
     delta: float = 0.5,
+    shrink: bool = False,
+    fuse=None,
     engine: Engine | None = None,
     backend: str | Backend | None = None,
 ) -> ApproxMinCutResult:
@@ -226,11 +234,14 @@ def approx_minimum_cut(
     Returns the ``2^j`` estimate plus a witness cut (the smallest component
     of the first disconnected trial) and its exact value on ``g``.
     ``backend`` selects the runtime (``"sim"``/``"mp"``/instance); results
-    are backend-independent for a fixed ``seed``.
+    are backend-independent for a fixed ``seed``.  ``shrink=True`` enables
+    group-shrink inside the CC subcalls and ``fuse`` automatic superstep
+    fusion on a freshly constructed backend — both leave results
+    bit-identical.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
-    runtime = resolve_backend(backend, engine=engine)
+    runtime = resolve_backend(backend, engine=engine, fuse=fuse)
     slices = g.slices(p)
     result = runtime.run(
         appmc_program, p, seed=seed,
@@ -240,6 +251,7 @@ def approx_minimum_cut(
             "pipelined": pipelined,
             "eps": eps,
             "delta": delta,
+            "shrink": shrink,
         },
     )
     estimate, witness_value, side = result.root_value

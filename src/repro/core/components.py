@@ -52,24 +52,51 @@ def _sample_size(k: int, eps: float) -> int:
     return max(16, math.ceil(k ** (1.0 + eps)))
 
 
-def cc_kernel(ctx, comm, u, v, n, *, eps=0.25, delta=0.5, root=0):
+def cc_kernel(ctx, comm, u, v, n, *, eps=0.25, delta=0.5, root=0,
+              shrink=False):
     """Generator: components of the distributed edge arrays ``(u, v)``.
 
     The reusable core of §3.2, also invoked by the approximate minimum cut
     (§3.3) on its union-of-subgraphs instance.  Returns ``(labels, count)``
     at ``root`` and ``(None, count)`` elsewhere, where ``labels[x]`` is the
     dense component id of vertex ``x``.
+
+    ``shrink=True`` enables group-shrink: once any processor's slice
+    contracts to nothing, the group splits to the still-active ranks
+    (``comm.split``, its superstep charged honestly) and the idle ranks
+    wait at a single closing broadcast instead of paying a barrier wait
+    per remaining round.  Results are bit-identical with shrink on or
+    off: an empty slice contributes nothing to the unweighted sampler
+    and consumes no randomness (the Chernoff floor skips its draw), so
+    dropping it from the group changes no rank's Philox stream and no
+    sampled edge — this kernel is the honest boundary of bit-parity
+    shrink (contrast the exact min-cut recursion, whose group membership
+    *feeds* stream assignment; see ``docs/fusion.md``).
     """
     m_input = int(u.size)
     u = u.copy()
     v = v.copy()
     labels_orig = np.arange(n, dtype=np.int64) if comm.rank == root else None
     k = n  # size of the current (contracted) label space
+    orig_comm, orig_root = comm, root
+    did_split = False  # group-shrink fires at most once per kernel call
 
     for _round in range(_MAX_ROUNDS):
         m_total = yield from comm.allreduce(int(u.size), op=operator.add)
         if m_total == 0:
             break
+        if shrink and not did_split:
+            active = 1 if (u.size > 0 or comm.rank == root) else 0
+            flags = yield from comm.allgather(active)
+            if 0 in flags:
+                sub = yield from comm.split(active, key=comm.rank)
+                did_split = True
+                if not active:
+                    break
+                # The root stays active by construction; its local rank in
+                # the shrunk group is the number of active ranks before it.
+                root = sum(flags[:root])
+                comm = sub
         s = min(m_total, _sample_size(k, eps))
         sample = yield from sparsify_unweighted(
             ctx, comm, u, v, s, n=k, delta=delta, root=root
@@ -103,16 +130,22 @@ def cc_kernel(ctx, comm, u, v, n, *, eps=0.25, delta=0.5, root=0):
             "this indicates a sampling bug, not bad luck"
         )
 
+    if did_split:
+        # Re-join once on the original communicator: released ranks have
+        # been waiting here since the split, and receive the final count.
+        payload = k if orig_comm.rank == orig_root else None
+        k = yield from orig_comm.bcast(payload, root=orig_root)
+
     if comm.rank == root:
         return labels_orig, k
     return None, k
 
 
-def cc_program(ctx, slices, n, *, eps=0.25, delta=0.5):
+def cc_program(ctx, slices, n, *, eps=0.25, delta=0.5, shrink=False):
     """SPMD program: each processor contributes ``slices[ctx.rank]``."""
     g = slices[ctx.rank]
     result = yield from cc_kernel(
-        ctx, ctx.comm, g.u, g.v, n, eps=eps, delta=delta
+        ctx, ctx.comm, g.u, g.v, n, eps=eps, delta=delta, shrink=shrink
     )
     return result
 
@@ -233,6 +266,8 @@ def connected_components(
     eps: float = 0.25,
     delta: float = 0.5,
     hybrid: bool = False,
+    shrink: bool = False,
+    fuse=None,
     engine: Engine | None = None,
     backend: str | Backend | None = None,
 ) -> CCResult:
@@ -244,18 +279,31 @@ def connected_components(
     the parallel hooking algorithm instead of iterating to convergence
     (the §3.2 remark).  Deterministic given ``seed``.
 
+    ``shrink=True`` lets the sampling loop release processors whose edge
+    slice has contracted away (see :func:`cc_kernel`); results are
+    bit-identical either way.  ``fuse`` (bool or
+    :class:`~repro.bsp.fusion.FusionConfig`) enables automatic superstep
+    fusion on a freshly constructed backend.
+
     ``backend`` selects the runtime: ``"sim"`` (default, the BSP
     simulator on ``p`` virtual processors), ``"mp"`` (``p`` real OS
     processes), or a ready :class:`~repro.runtime.base.Backend`.
     Algorithmic results are backend-independent; only ``time`` differs
     (analytic vs measured).
     """
-    runtime = resolve_backend(backend, engine=engine)
+    if hybrid and shrink:
+        raise ValueError(
+            "shrink= applies to the iterated-sampling kernel only; the "
+            "hybrid finish redistributes edges across the full group"
+        )
+    runtime = resolve_backend(backend, engine=engine, fuse=fuse)
     slices = g.slices(p)
     program = cc_hybrid_program if hybrid else cc_program
+    kwargs = {"eps": eps, "delta": delta}
+    if not hybrid:
+        kwargs["shrink"] = shrink
     result = runtime.run(
-        program, p, seed=seed,
-        args=(slices, g.n), kwargs={"eps": eps, "delta": delta},
+        program, p, seed=seed, args=(slices, g.n), kwargs=kwargs,
     )
     labels, count = result.root_value
     return CCResult(

@@ -557,6 +557,7 @@ def minimum_cut(
     trial_scale: float = 1.0,
     preprocess: bool = False,
     variant: str = "default",
+    fuse=None,
     engine: Engine | None = None,
     backend: str | Backend | None = None,
     scheduler: "Any | None" = None,
@@ -586,6 +587,16 @@ def minimum_cut(
     reloads the scheduler's checkpoint), fault injection, and an
     ``achieved_success_prob``/``ledger`` on the result.  The cut value is
     bit-identical to the unscheduled path for the same ``seed``.
+
+    ``fuse`` (bool or :class:`~repro.bsp.fusion.FusionConfig`) enables
+    automatic superstep fusion on a freshly constructed backend; results
+    stay bit-identical.  There is deliberately *no* ``shrink=`` here: the
+    exact pipeline cannot release idle ranks without changing results —
+    the eager contraction's sort splitters span ``comm.size`` (a smaller
+    group redraws the root's multinomial refill), and the recursion's
+    group halving decides which Philox stream runs each Karger–Stein
+    leaf.  Group-shrink lives in the CC kernel and the approximate cut,
+    where bit-parity holds (see ``docs/fusion.md``).
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
@@ -603,7 +614,7 @@ def minimum_cut(
             raise ValueError(
                 "variant='2out' does not support resume: one checkpoint "
                 "cannot span the per-replica dispatches")
-    runtime = resolve_backend(backend, engine=engine)
+    runtime = resolve_backend(backend, engine=engine, fuse=fuse)
     lift = None
     if preprocess:
         from repro.core.preprocess import contract_heavy_edges
@@ -681,6 +692,7 @@ def minimum_cuts(
     success_prob: float = 0.9,
     trials: int | None = None,
     trial_scale: float = 1.0,
+    fuse=None,
     engine: Engine | None = None,
     backend: str | Backend | None = None,
     scheduler: "Any | None" = None,
@@ -692,13 +704,14 @@ def minimum_cuts(
     with high probability; this driver collects the distinct witnesses
     discovered across trials (a side and its complement count once).
     ``backend`` selects the runtime and ``scheduler`` routes the trials
-    through the fault-tolerant dispatch loop, as in :func:`minimum_cut`.
+    through the fault-tolerant dispatch loop, and ``fuse`` enables
+    automatic superstep fusion, as in :func:`minimum_cut`.
     """
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
     if resume and scheduler is None:
         raise ValueError("resume=True requires a scheduler")
-    runtime = resolve_backend(backend, engine=engine)
+    runtime = resolve_backend(backend, engine=engine, fuse=fuse)
     if scheduler is not None:
         sres = scheduler.run(
             g, p, backend=runtime, seed=seed, success_prob=success_prob,

@@ -85,6 +85,7 @@ def resolve_backend(
     *,
     engine: Engine | None = None,
     tracer: "Tracer | None" = None,
+    fuse=None,
 ) -> Backend:
     """Resolve a backend spec (name, instance or ``None``) to an instance.
 
@@ -94,7 +95,10 @@ def resolve_backend(
     an error rather than a silent ignore.  ``tracer`` attaches a collective
     tracer to a freshly constructed backend (either name); an already
     constructed instance carries its own tracer, so combining the two is
-    likewise an error.
+    likewise an error.  ``fuse`` (a bool or
+    :class:`~repro.bsp.fusion.FusionConfig`) enables automatic superstep
+    fusion on a freshly constructed backend, with the same
+    instance-conflict rule as ``tracer``.
     """
     from repro.runtime.sim import SimBackend
 
@@ -109,11 +113,18 @@ def resolve_backend(
                 "a backend instance carries its own tracer; pass tracer= "
                 "only with a backend name (or None)"
             )
+        if fuse is not None:
+            raise ValueError(
+                "a backend instance carries its own fusion config; pass "
+                "fuse= only with a backend name (or None)"
+            )
         return backend
     if backend is None or backend == "sim":
-        if engine is not None and tracer is not None:
-            raise ValueError("pass either engine= or tracer=, not both")
-        return SimBackend(engine=engine, tracer=tracer)
+        if engine is not None and (tracer is not None or fuse is not None):
+            raise ValueError(
+                "pass either engine= or tracer=/fuse=, not both"
+            )
+        return SimBackend(engine=engine, tracer=tracer, fuse=fuse)
     if engine is not None:
         raise ValueError(
             f"engine= applies to the sim backend only, not {backend!r}"
@@ -121,7 +132,12 @@ def resolve_backend(
     registry = available_backends()
     if isinstance(backend, str) and backend in registry:
         cls = registry[backend]
-        return cls(tracer=tracer) if tracer is not None else cls()
+        kw = {}
+        if tracer is not None:
+            kw["tracer"] = tracer
+        if fuse is not None:
+            kw["fuse"] = fuse
+        return cls(**kw)
     raise ValueError(
         f"unknown backend {backend!r}; available: {sorted(registry)}"
     )

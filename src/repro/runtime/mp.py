@@ -45,6 +45,7 @@ from typing import Any, Callable, Generator, Iterable, Sequence
 from repro.bsp.comm import CollectiveOp, payload_words
 from repro.bsp.counters import CountersReport, ProcCounters
 from repro.bsp.engine import Engine, ROOTED_KINDS, RunResult
+from repro.bsp.fusion import FUSABLE_KINDS, FusionConfig, as_fusion_config
 from repro.bsp.errors import CollectiveMismatchError, DeadlockError
 from repro.bsp.machine import TimeEstimate
 from repro.cache.model import CacheParams
@@ -214,6 +215,11 @@ class MpBackend(Backend):
         bit-identical to the simulator's for the same seed (only the
         measured ``wall_s`` differs).  Off by default: untraced runs use
         exactly the pre-trace wire protocol.
+    fuse:
+        Automatic adjacent superstep fusion (see
+        :mod:`repro.bsp.fusion`): ``True`` for the default
+        :class:`~repro.bsp.fusion.FusionConfig`, or a ready config.  Off
+        by default; explicit ``comm.batch`` requests always work.
     """
 
     name = "mp"
@@ -228,6 +234,7 @@ class MpBackend(Backend):
         use_arena: bool = True,
         trace: bool = False,
         tracer: Tracer | None = None,
+        fuse: bool | FusionConfig | None = None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive or None, got {timeout}")
@@ -249,6 +256,12 @@ class MpBackend(Backend):
         self.timeout = timeout
         self.shm_threshold = int(shm_threshold)
         self.use_arena = bool(use_arena)
+        #: Automatic adjacent-fusion policy, mirroring ``Engine(fuse=...)``:
+        #: the coordinator merges a collective into the group's previous
+        #: superstep when every member reported itself clean (no local
+        #: charges since its last reply) — the simulator's exact criterion,
+        #: so fused runs stay bit-identical across backends.
+        self.fuse = as_fusion_config(fuse)
         #: Per-kind transport stats of the most recent run (coordinator +
         #: all workers merged), as :meth:`TransportStats.as_dict`.
         self.last_transport_stats: dict | None = None
@@ -332,9 +345,14 @@ class MpBackend(Backend):
             # outlives this run; stats restart so last_transport_stats
             # stays per-run.
             transport.stats = TransportStats()
-        # pending: rank -> (op, since_sync, pre-request counter snapshot)
-        pending: dict[int, tuple[CollectiveOp, float, tuple | None]] = {}
+        # pending: rank -> (op, since_sync, clean, pre-request snapshot)
+        pending: dict[int, tuple[CollectiveOp, float, bool, tuple | None]] = {}
         finished: set[int] = set()
+        # Adjacent-fusion bookkeeping, mirroring Engine._execute's:
+        fuse = self.fuse
+        last_sync: dict[int, tuple[int, bool]] = {}  # rank -> (gid, mergeable)
+        chain: dict[int, int] = {}        # gid -> collectives this superstep
+        chain_words: dict[int, int] = {}  # gid -> words this superstep
         values: list[Any] = [None] * p
         counters: list[ProcCounters | None] = [None] * p
         app_s = [0.0] * p
@@ -352,8 +370,8 @@ class MpBackend(Backend):
             transport.release(reply_refs[rank])  # previous reply consumed
             reply_refs[rank].clear()
             if tag == MSG_OP:
-                op, since_sync = msg[2], msg[3]
-                snap = msg[4] if len(msg) > 4 else None  # tracing only
+                op, since_sync, clean = msg[2], msg[3], msg[4]
+                snap = msg[5] if len(msg) > 5 else None  # tracing only
                 pool.worker_segments |= collect_slab_names(op.payload)
                 op = CollectiveOp(
                     group=op.group, kind=op.kind, sender=op.sender,
@@ -361,7 +379,7 @@ class MpBackend(Backend):
                     payload=transport.decode(op.payload),
                     root=op.root, op=op.op,
                 )
-                pending[rank] = (op, float(since_sync), snap)
+                pending[rank] = (op, float(since_sync), bool(clean), snap)
             elif tag == MSG_DONE:
                 value, procs_counters, app, mpi = msg[2:6]
                 values[rank] = decode_payload(value)
@@ -379,7 +397,7 @@ class MpBackend(Backend):
 
         def execute_ready() -> None:
             by_gid: dict[int, list[int]] = {}
-            for rank, (op, _s, _snap) in pending.items():
+            for rank, (op, _s, _c, _snap) in pending.items():
                 by_gid.setdefault(op.group.gid, []).append(rank)
             for gid in sorted(by_gid):
                 ranks = by_gid[gid]
@@ -417,50 +435,139 @@ class MpBackend(Backend):
                     raise CollectiveMismatchError(
                         f"unknown collective kind {kind!r}"
                     )
-                # Scratch counters collect this collective's charges; the
-                # workers apply them so per-rank totals accumulate in the
-                # simulator's exact order (bit-equal floats).
-                scratch = [ProcCounters() for _ in range(p)]
-                results = handler(group, ops, scratch, None)
+                # Adjacent fusion, mirroring Engine._execute: merge into the
+                # group's previous superstep when every member is clean (no
+                # local charges since its last reply — then all since-sync
+                # values are zero and the merge elides only the latency).
+                words = -1
+                merged = False
+                if fuse is not None and fuse.auto and kind in FUSABLE_KINDS:
+                    words = sum(payload_words(op.payload) for op in ops)
+                    merged = (
+                        chain.get(gid, 0) + 1 <= fuse.max_chain
+                        and chain_words.get(gid, 0) + words <= fuse.max_words
+                        and all(last_sync.get(m) == (gid, True)
+                                for m in group.members)
+                        and all(pending[m][2] for m in group.members)
+                    )
                 since = {r: pending[r][1] for r in ranks}
                 slowest = max(since.values())
                 posts = [] if tracer.enabled else None
-                for op, res in zip(ops, results):
-                    m = op.sender
-                    wire, reply_refs[m] = transport.encode(res, kind)
-                    sc = scratch[m]
-                    wait_delta = slowest - since[m]
-                    if posts is not None:
-                        # Replicate the worker's post-collective counters
-                        # from its pre-request snapshot, using the same
-                        # single-addition-per-field arithmetic the worker
-                        # applies, so the recorded snapshot is bit-equal
-                        # to both the worker's and the simulator's state.
-                        ops0, sent0, recv0, misses0, wait0, ss0 = pending[m][2]
-                        posts.append((
-                            ops0 + sc.ops, sent0 + sc.words_sent,
-                            recv0 + sc.words_recv, misses0 + sc.misses,
-                            wait0 + wait_delta, ss0 + 1,
+                cleans = tuple(pending[m][2] for m in group.members) \
+                    if posts is not None else ()
+                if kind == "fused":
+                    # Explicit batch: one superstep, sub-collectives run
+                    # back-to-back.  Each sub-op gets its *own* scratch so
+                    # the worker (and the traced replica below) can apply
+                    # the charges one sub-op at a time — the simulator's
+                    # exact float addition order.
+                    per_member_res: list[list] = [[] for _ in ops]
+                    per_member_chg: list[list] = [[] for _ in ops]
+                    for subkind, subs in engine._iter_fused(group, ops):
+                        sub_handler = getattr(engine, f"_exec_{subkind}")
+                        scratch = [ProcCounters() for _ in range(p)]
+                        sub_res = sub_handler(group, subs, scratch, None)
+                        for j, op in enumerate(ops):
+                            sc = scratch[op.sender]
+                            per_member_res[j].append(sub_res[j])
+                            per_member_chg[j].append(
+                                (sc.ops, sc.words_sent,
+                                 sc.words_recv, sc.misses)
+                            )
+                    for j, op in enumerate(ops):
+                        m = op.sender
+                        res = tuple(per_member_res[j])
+                        charges = tuple(per_member_chg[j])
+                        wire, reply_refs[m] = transport.encode(res, kind)
+                        wait_delta = slowest - since[m]
+                        if posts is not None:
+                            o, se, re_, mi, wait0, ss0 = pending[m][3]
+                            for c_ops, c_sent, c_recv, c_miss in charges:
+                                o += c_ops
+                                se += c_sent
+                                re_ += c_recv
+                                mi += c_miss
+                            posts.append((o, se, re_, mi,
+                                          wait0 + wait_delta, ss0 + 1))
+                        buf = ForkingPickler.dumps((
+                            REPLY_RESULT, wire, wait_delta, charges,
                         ))
-                    buf = ForkingPickler.dumps((
-                        REPLY_RESULT, wire, wait_delta,
-                        sc.ops, sc.words_sent, sc.words_recv, sc.misses,
-                    ))
-                    transport.note_pickle(kind, len(buf))
-                    try:
-                        pool.conns[m].send_bytes(buf)
-                    except (BrokenPipeError, OSError):
-                        raise self._crash(pool, m, steps[m]) from None
-                    del pending[m]
-                    steps[m] += 1
+                        transport.note_pickle(kind, len(buf))
+                        try:
+                            pool.conns[m].send_bytes(buf)
+                        except (BrokenPipeError, OSError):
+                            raise self._crash(pool, m, steps[m]) from None
+                        del pending[m]
+                        steps[m] += 1
+                else:
+                    # Scratch counters collect this collective's charges;
+                    # the workers apply them so per-rank totals accumulate
+                    # in the simulator's exact order (bit-equal floats).
+                    scratch = [ProcCounters() for _ in range(p)]
+                    results = handler(group, ops, scratch, None)
+                    for op, res in zip(ops, results):
+                        m = op.sender
+                        wire, reply_refs[m] = transport.encode(res, kind)
+                        sc = scratch[m]
+                        wait_delta = slowest - since[m]
+                        if posts is not None:
+                            # Replicate the worker's post-collective
+                            # counters from its pre-request snapshot, using
+                            # the same single-addition-per-field arithmetic
+                            # the worker applies, so the recorded snapshot
+                            # is bit-equal to both the worker's and the
+                            # simulator's state.
+                            ops0, sent0, recv0, misses0, wait0, ss0 = \
+                                pending[m][3]
+                            posts.append((
+                                ops0 + sc.ops, sent0 + sc.words_sent,
+                                recv0 + sc.words_recv, misses0 + sc.misses,
+                                wait0 + wait_delta,
+                                ss0 if merged else ss0 + 1,
+                            ))
+                        buf = ForkingPickler.dumps((
+                            REPLY_RESULT, wire, wait_delta,
+                            sc.ops, sc.words_sent, sc.words_recv, sc.misses,
+                            not merged,
+                        ))
+                        transport.note_pickle(kind, len(buf))
+                        try:
+                            pool.conns[m].send_bytes(buf)
+                        except (BrokenPipeError, OSError):
+                            raise self._crash(pool, m, steps[m]) from None
+                        del pending[m]
+                        steps[m] += 1
                 if posts is not None:
                     now = perf_counter()
-                    tracer.on_collective(
-                        kind=kind, gid=gid, participants=group.members,
-                        words=sum(payload_words(op.payload) for op in ops),
-                        snapshots=posts, wall_s=now - last_event_t[0],
-                    )
+                    if words < 0:
+                        words = sum(payload_words(op.payload) for op in ops)
+                    if merged:
+                        tracer.on_merge(
+                            kind=kind, gid=gid, participants=group.members,
+                            words=words, snapshots=posts,
+                            wall_s=now - last_event_t[0],
+                        )
+                    else:
+                        tracer.on_collective(
+                            kind=kind, gid=gid, participants=group.members,
+                            words=words, snapshots=posts,
+                            wall_s=now - last_event_t[0],
+                            fused=tuple(s.kind for s in ops[0].payload)
+                            if kind == "fused" else (),
+                            clean=cleans,
+                        )
                     last_event_t[0] = now
+                if fuse is not None:
+                    if words < 0:
+                        words = sum(payload_words(op.payload) for op in ops)
+                    weight = len(ops[0].payload) if kind == "fused" else 1
+                    chain[gid] = (chain.get(gid, 0) + weight if merged
+                                  else weight)
+                    chain_words[gid] = (chain_words.get(gid, 0) + words
+                                        if merged else words)
+                    mergeable = kind in FUSABLE_KINDS or kind == "fused"
+                    for m in group.members:
+                        last_sync[m] = (gid, mergeable)
 
         try:
             self._event_loop(engine, pool, p, pending, finished, handle,

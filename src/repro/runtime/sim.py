@@ -13,6 +13,7 @@ import time
 from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.bsp.engine import Engine, RunResult
+from repro.bsp.fusion import FusionConfig
 from repro.bsp.machine import MachineModel
 from repro.cache.model import CacheParams
 from repro.faults import FaultInjector, FaultSpec
@@ -79,15 +80,17 @@ class SimBackend(Backend):
         machine: MachineModel | None = None,
         trace: bool = False,
         tracer: Tracer | None = None,
+        fuse: "bool | FusionConfig | None" = None,
     ):
         if engine is not None and (cache is not None or machine is not None
-                                   or trace or tracer is not None):
+                                   or trace or tracer is not None
+                                   or fuse is not None):
             raise ValueError(
-                "pass either a ready engine or cache/machine/trace/tracer, "
-                "not both"
+                "pass either a ready engine or cache/machine/trace/tracer/"
+                "fuse, not both"
             )
         self.engine = engine or Engine(cache=cache, machine=machine,
-                                       trace=trace, tracer=tracer)
+                                       trace=trace, tracer=tracer, fuse=fuse)
 
     def run(
         self,

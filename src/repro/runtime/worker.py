@@ -74,7 +74,8 @@ class WorkerSpec:
     #: When True, every collective request additionally carries this
     #: rank's cumulative pre-request counter snapshot so the coordinator
     #: can emit per-superstep trace events.  Off by default: untraced
-    #: runs put exactly the pre-trace message tuples on the wire.
+    #: requests carry only the op, the since-sync value, and the
+    #: cleanliness flag that feeds the coordinator's fusion decision.
     trace: bool = False
     #: Pooled-arena transport (default); False selects the legacy
     #: one-segment-per-array codec, kept for differential benchmarking.
@@ -119,6 +120,13 @@ def _drive(conn, spec: WorkerSpec, transport: Transport | None = None) -> None:
         transport.stats = TransportStats()
     injector = FaultInjector(spec.faults, spec.rank)
     local_step = 0  # collectives this rank has completed
+    #: (ops, misses) right after the previous reply was applied: the
+    #: coordinator merges adjacent collectives into one superstep only
+    #: when *every* member arrived with no local charges since its last
+    #: one — the same cleanliness test the simulator applies (a `work`
+    #: fault charges ops before this comparison, marking the rank dirty
+    #: exactly as the simulator's fault wrapper does).
+    post_sync = (counters.ops, counters.misses)
 
     gen = spec.program(ctx, *spec.args, **spec.kwargs)
     while True:
@@ -166,13 +174,15 @@ def _drive(conn, spec: WorkerSpec, transport: Transport | None = None) -> None:
         # Snapshot the imbalance input *before* blocking: ops charged since
         # this rank's previous synchronization (the engine's `since_sync`).
         since_sync = counters.ops - counters.ops_at_last_sync
+        clean = (counters.ops, counters.misses) == post_sync
         t1 = perf_counter()
         wire_payload, slabs = transport.encode(op.payload, op.kind)
         wire = replace(op, payload=wire_payload)
         if spec.trace:
-            msg = (MSG_OP, spec.rank, wire, since_sync, counters.snapshot())
+            msg = (MSG_OP, spec.rank, wire, since_sync, clean,
+                   counters.snapshot())
         else:
-            msg = (MSG_OP, spec.rank, wire, since_sync)
+            msg = (MSG_OP, spec.rank, wire, since_sync, clean)
         buf = ForkingPickler.dumps(msg)
         transport.note_pickle(op.kind, len(buf))
         if dropped:
@@ -191,16 +201,36 @@ def _drive(conn, spec: WorkerSpec, transport: Transport | None = None) -> None:
 
         if msg[0] != REPLY_RESULT:  # pragma: no cover - protocol guard
             raise RuntimeError(f"unexpected coordinator reply {msg[0]!r}")
-        _, payload, wait_delta, extra_ops, sent, recv, comm_misses = msg
+        if len(msg) == 4:
+            # Explicit batch: per-sub-op charge tuples, applied one by one
+            # so cumulative floats accumulate in the simulator's exact
+            # addition order (one batch = one superstep).
+            _, payload, wait_delta, charges = msg
+            counters.wait_ops += wait_delta
+            counters.ops_at_last_sync = counters.ops
+            counters.supersteps += 1
+            for extra_ops, sent, recv, comm_misses in charges:
+                counters.charge(ops=extra_ops)
+                counters.charge_comm(sent, recv, misses=comm_misses)
+        else:
+            _, payload, wait_delta, extra_ops, sent, recv, comm_misses, \
+                ss_inc = msg
 
-        # Apply the collective's charges in the engine's order: sync
-        # accounting first, then the handler's computation/transfer costs.
-        counters.wait_ops += wait_delta
-        counters.ops_at_last_sync = counters.ops
-        counters.supersteps += 1
-        counters.charge(ops=extra_ops)
-        counters.charge_comm(sent, recv, misses=comm_misses)
+            # Apply the collective's charges in the engine's order: sync
+            # accounting first, then the handler's computation/transfer
+            # costs.  A collective the coordinator fused into the previous
+            # superstep (`ss_inc` False) arrives with a zero wait delta and
+            # an unchanged ops total, so skipping the superstep increment
+            # is the *only* state difference — exactly the simulator's
+            # merge semantics.
+            counters.wait_ops += wait_delta
+            counters.ops_at_last_sync = counters.ops
+            if ss_inc:
+                counters.supersteps += 1
+            counters.charge(ops=extra_ops)
+            counters.charge_comm(sent, recv, misses=comm_misses)
         inbox = transport.decode(payload)
+        post_sync = (counters.ops, counters.misses)
         local_step += 1
 
     # The DONE value rides legacy one-shot segments: this process (or, in

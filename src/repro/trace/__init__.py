@@ -20,6 +20,14 @@ Lamport clock; only the measured ``wall_s`` field differs), and
 round-trip losslessly through the ``--trace PATH`` JSON-lines file.
 """
 
+from repro.trace.analyze import (
+    FusibleRun,
+    SuperstepCost,
+    find_fusible_runs,
+    format_analysis,
+    fusion_plan,
+    rank_supersteps,
+)
 from repro.trace.events import FINAL, TraceEvent, exact_delta
 from repro.trace.io import (
     event_from_dict,
@@ -58,4 +66,10 @@ __all__ = [
     "event_from_dict",
     "write_jsonl",
     "read_jsonl",
+    "SuperstepCost",
+    "FusibleRun",
+    "rank_supersteps",
+    "find_fusible_runs",
+    "fusion_plan",
+    "format_analysis",
 ]

@@ -70,6 +70,19 @@ class TraceEvent:
     #: measured by the MpBackend coordinator; 0.0 under the simulator.
     #: Excluded from cross-backend trace comparisons, like TimeEstimate.
     wall_s: float = 0.0
+    #: For a fused superstep (an explicit ``comm.batch`` or the engine's
+    #: automatic adjacent merge): the kinds of every collective that ran
+    #: inside it, in execution order.  ``kind`` holds the first; empty for
+    #: an ordinary single-collective superstep.
+    fused: tuple[str, ...] = ()
+    #: Per-participant *arrival cleanliness*, aligned with ``participants``:
+    #: True when the rank reached this collective with zero local charges
+    #: (ops, misses) since its previous synchronization.  This is the
+    #: engine's fusion precondition recorded verbatim — the offline
+    #: analyzer cannot infer it from the deltas, because ``d_ops`` /
+    #: ``d_misses`` also contain the collective's own charges.  Empty for
+    #: the FINAL event.
+    clean: tuple[bool, ...] = ()
 
     @property
     def is_final(self) -> bool:

@@ -35,6 +35,8 @@ def event_to_dict(ev: TraceEvent) -> dict:
         "d_misses": list(ev.d_misses),
         "d_wait": list(ev.d_wait),
         "wall_s": ev.wall_s,
+        "fused": list(ev.fused),
+        "clean": [int(c) for c in ev.clean],
     }
 
 
@@ -51,6 +53,8 @@ def event_from_dict(d: dict) -> TraceEvent:
         **{f: tuple(float(x) for x in d.get(f, ()))
            for f in _FLOAT_TUPLES},
         wall_s=float(d.get("wall_s", 0.0)),
+        fused=tuple(str(k) for k in d.get("fused", ())),
+        clean=tuple(bool(c) for c in d.get("clean", ())),
     )
 
 

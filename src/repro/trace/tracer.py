@@ -48,9 +48,28 @@ class Tracer:
         words: int,
         snapshots: Sequence[Snapshot],
         wall_s: float = 0.0,
+        fused: tuple[str, ...] = (),
+        clean: tuple[bool, ...] = (),
     ) -> None:
         """One collective executed; ``snapshots`` are the participants'
-        cumulative post-collective counters, aligned with ``participants``."""
+        cumulative post-collective counters, aligned with ``participants``.
+        ``fused`` carries the sub-operation kinds of an explicit batch;
+        ``clean`` each participant's arrival cleanliness (no local charges
+        since its previous sync — the fusion precondition)."""
+
+    def on_merge(
+        self,
+        kind: str,
+        gid: int,
+        participants: tuple[int, ...],
+        words: int,
+        snapshots: Sequence[Snapshot],
+        wall_s: float = 0.0,
+    ) -> None:
+        """A collective executed *inside* the group's previous superstep
+        (adjacent fusion): extend that superstep's event in place rather
+        than recording a new one.  Only ever called for a gid whose last
+        recorded event is still the group's current superstep."""
 
     def on_finish(self, snapshots: Sequence[Snapshot],
                   wall_s: float = 0.0) -> None:
@@ -93,20 +112,46 @@ class RecordingTracer(Tracer):
         #: rank -> [ops, sent, recv, misses, wait] reconstruction sums;
         #: kept bit-equal to the last snapshot via exact_delta.
         self._sums: dict[int, list[float]] = {}
+        #: gid -> (index of the group's last event in ``_events``, per-rank
+        #: pre-event reconstruction sums).  Floating deltas cannot be
+        #: un-applied bit-exactly, so a merge restores the sums captured
+        #: *before* the event and re-derives deltas against the new
+        #: snapshots.  The pre-sums stay valid across chained merges.
+        self._last_by_gid: dict[int, tuple[int, dict[int, list[float]]]] = {}
 
     # -- hooks ---------------------------------------------------------------
 
     def on_collective(self, kind, gid, participants, words, snapshots,
-                      wall_s=0.0) -> None:
+                      wall_s=0.0, fused=(), clean=()) -> None:
         step = 1 + max((self._clock.get(r, 0) for r in participants),
                        default=0)
         gseq = self._gseq.get(gid, 0)
         self._gseq[gid] = gseq + 1
+        pre = {r: list(self._sums.setdefault(r, [0.0] * 5))
+               for r in participants}
         self._events.append(self._event(
             kind, gid, participants, words, step, gseq, snapshots, wall_s,
+            fused=fused, clean=clean,
         ))
+        self._last_by_gid[gid] = (len(self._events) - 1, pre)
         for r in participants:
             self._clock[r] = step
+
+    def on_merge(self, kind, gid, participants, words, snapshots,
+                 wall_s=0.0) -> None:
+        idx, pre = self._last_by_gid[gid]
+        old = self._events[idx]
+        for r in participants:
+            self._sums[r] = list(pre[r])
+        # Same superstep: step/gseq/clocks are untouched; the event is
+        # rebuilt against the new cumulative snapshots with the original
+        # pre-superstep sums, so aggregation stays bit-exact.
+        self._events[idx] = self._event(
+            old.kind, gid, participants, old.words + int(words),
+            old.step, old.gseq, snapshots, old.wall_s + wall_s,
+            fused=(old.fused or (old.kind,)) + (kind,),
+            clean=old.clean,
+        )
 
     def on_finish(self, snapshots, wall_s=0.0) -> None:
         participants = tuple(range(len(snapshots)))
@@ -117,15 +162,17 @@ class RecordingTracer(Tracer):
         self._events.append(self._event(
             FINAL, 0, participants, 0, step, gseq, snapshots, wall_s,
         ))
-        # Close the run: fresh counters next run, clocks keep increasing.
+        # Close the run: fresh counters next run, clocks keep increasing,
+        # and no event of this run can absorb a later run's collective.
         self._sums.clear()
+        self._last_by_gid.clear()
         for r in participants:
             self._clock[r] = step
 
     # -- internals -----------------------------------------------------------
 
     def _event(self, kind, gid, participants, words, step, gseq,
-               snapshots, wall_s) -> TraceEvent:
+               snapshots, wall_s, fused=(), clean=()) -> TraceEvent:
         d_ops, d_sent, d_recv, d_misses, d_wait, sss = [], [], [], [], [], []
         for r, snap in zip(participants, snapshots):
             ops, sent, recv, misses, wait, supersteps = snap
@@ -144,7 +191,8 @@ class RecordingTracer(Tracer):
             supersteps=tuple(sss),
             d_ops=tuple(d_ops), d_sent=tuple(d_sent), d_recv=tuple(d_recv),
             d_misses=tuple(d_misses), d_wait=tuple(d_wait),
-            wall_s=float(wall_s),
+            wall_s=float(wall_s), fused=tuple(fused),
+            clean=tuple(bool(c) for c in clean),
         )
 
     # -- access --------------------------------------------------------------

@@ -45,6 +45,54 @@ def test_bench_two_out_smoke_small_scale():
     assert r["dense"]["reduction"] > 1.0
 
 
+def test_bench_serve_smoke():
+    """The daemon benchmark end-to-end at minimal repeats: served answers
+    must match direct runs (the speedup floor itself is perf-gated, not
+    asserted here — one repeat is too noisy)."""
+    from tests.conftest import require_mp
+
+    require_mp()
+    from benchmarks.bench_serve import run_benchmarks as run_serve
+
+    r = run_serve(repeats=1, seed=1, clients=2, per_client=2)
+    assert r["results_match"]
+    assert np.isfinite(r["cc_value"]) and np.isfinite(r["sq_value"])
+    assert r["min_warm_speedup"] > 0
+
+
+def test_bench_fusion_smoke_small_scale():
+    from benchmarks.bench_fusion import run_benchmarks as run_fusion
+
+    r = run_fusion(scale=0.25, seed=0)
+    a, c = r["appmc_dense"], r["cc_multiround"]
+    assert a["values_match"] and c["values_match"]
+    assert c["shrink_fired"]
+    # Fusion must strictly reduce supersteps even at smoke scale.
+    assert (a["cluster"]["fused_shrink"]["supersteps"]
+            < a["cluster"]["base"]["supersteps"])
+    assert c["default"]["fused"]["supersteps"] \
+        < c["default"]["base"]["supersteps"]
+    assert a["reduction"] > 1.0 and c["ops_reduction"] > 1.0
+
+
+@pytest.mark.perf
+def test_fusion_reduction_meets_floor_full_scale():
+    """Acceptance bar: >= 1.3x predicted-time reduction from fusion +
+    group-shrink on the dense min-cut workload (cluster profile), and
+    >= 1.2x total-work reduction from shrink on the multi-round CC."""
+    from benchmarks.bench_fusion import (
+        OPS_REDUCTION_FLOOR,
+        REDUCTION_FLOOR,
+        run_benchmarks as run_fusion,
+    )
+
+    r = run_fusion(scale=1.0, seed=0)
+    assert r["reduction_ok"], r["appmc_dense"]["reduction"]
+    assert r["ops_reduction_ok"], r["cc_multiround"]["ops_reduction"]
+    assert r["appmc_dense"]["reduction"] >= REDUCTION_FLOOR
+    assert r["cc_multiround"]["ops_reduction"] >= OPS_REDUCTION_FLOOR
+
+
 @pytest.mark.perf
 def test_contract_speedup_meets_floor_full_scale():
     """Acceptance bar: >= 10x over the scalar reference on contraction of a

@@ -1,0 +1,190 @@
+"""Group-shrink: bit-parity, trace shape, and faults in shrunk groups.
+
+The shrink path (``cc_kernel(shrink=True)``) releases processors whose
+edge slice contracted away: the group splits to the active ranks and the
+idle ones wait at one closing broadcast.  These tests pin the contract:
+
+* results are bit-identical with shrink on or off, for every processor
+  count and on both backends,
+* the shrunk trace contains the ``split`` collective and the released
+  ranks finish with strictly fewer supersteps (the idle barrier waits
+  they no longer pay), while active ranks' work charges are unchanged,
+* the parity boundary is enforced: the hybrid CC finish and the exact
+  min-cut pipeline refuse/lack ``shrink=`` (their schedules feed group
+  membership into RNG stream assignment — see ``docs/fusion.md``),
+* a worker crash *inside a shrunk group* surfaces as the same typed
+  error, with the same message, as on the simulator.
+
+The workload is a duplicated path whose rare single-copy bridge edges
+survive the first sampling round on few ranks — the deterministic
+shrink trigger (same construction as ``benchmarks/bench_fusion.py``).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import approx_minimum_cut, connected_components, minimum_cut
+from repro.faults import FaultSpec
+from repro.graph.edgelist import EdgeList
+from repro.runtime import MpBackend, SimBackend, WorkerCrashError
+from repro.trace import FINAL, RecordingTracer
+from tests.conftest import require_mp
+
+
+def bridge_path_graph(n=600, rep=40, gaps=3) -> EdgeList:
+    """Duplicated path with rare single-copy bridges appended last."""
+    step = max(2, n // (gaps + 1))
+    gap_set = {step * (i + 1) for i in range(gaps) if step * (i + 1) < n - 1}
+    uu, vv = [], []
+    for i in range(n - 1):
+        if i in gap_set:
+            continue
+        uu.extend([i] * rep)
+        vv.extend([i + 1] * rep)
+    for i in sorted(gap_set):
+        uu.append(i)
+        vv.append(i + 1)
+    return EdgeList(n, np.array(uu, dtype=np.int64),
+                    np.array(vv, dtype=np.int64),
+                    canonical=False, validate=False)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return bridge_path_graph()
+
+
+def traced_cc(g, p, *, shrink, fuse=None, backend_cls=SimBackend):
+    tracer = RecordingTracer()
+    res = connected_components(g, p, seed=0, shrink=shrink,
+                               backend=backend_cls(tracer=tracer, fuse=fuse))
+    return res, tracer.events()
+
+
+def rank_supersteps(events):
+    """rank -> final superstep count, from the FINAL flush record."""
+    final = [ev for ev in events if ev.kind == FINAL][-1]
+    return {r: snap for r, snap in
+            zip(final.participants, final.supersteps)}
+
+
+class TestParity:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_cc_bit_identical(self, graph, p):
+        base = connected_components(graph, p, seed=0, shrink=False)
+        shrunk = connected_components(graph, p, seed=0, shrink=True)
+        assert np.array_equal(base.labels, shrunk.labels)
+        assert base.n_components == shrunk.n_components
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_appmc_bit_identical(self, graph, p):
+        base = approx_minimum_cut(graph, p, seed=0, shrink=False)
+        shrunk = approx_minimum_cut(graph, p, seed=0, shrink=True)
+        assert base.estimate == shrunk.estimate
+
+    def test_work_charges_unchanged_for_active_ranks(self, graph):
+        """Shrink only removes idle waits: computation, volume and misses
+        of the whole run change only by the split/rejoin bookkeeping, and
+        the root's relabel work is identical."""
+        base = connected_components(graph, 4, seed=0, shrink=False)
+        shrunk = connected_components(graph, 4, seed=0, shrink=True)
+        assert shrunk.report.total_ops < base.report.total_ops
+        assert shrunk.report.p == base.report.p
+
+
+class TestTraceShape:
+    def test_split_fires_and_releases_ranks(self, graph):
+        base, base_ev = traced_cc(graph, 4, shrink=False)
+        shrunk, shrunk_ev = traced_cc(graph, 4, shrink=True)
+        base_kinds = [ev.kind for ev in base_ev]
+        shrunk_kinds = [ev.kind for ev in shrunk_ev]
+        assert "split" not in base_kinds
+        assert "split" in shrunk_kinds, (
+            "the bridge-path workload must trigger group-shrink; if the "
+            "sampler changed, retune bridge_path_graph"
+        )
+        shrunk_ss = rank_supersteps(shrunk_ev)
+        # Released ranks stop at the split while active ranks keep
+        # synchronizing: their final superstep counts must diverge.
+        assert min(shrunk_ss.values()) < max(shrunk_ss.values())
+        # Without fusion the shrink protocol's own collectives (the
+        # per-round activity allgather, the split, the closing rejoin)
+        # offset what the released ranks save, so released ranks only
+        # break even against the unshrunk run...
+        base_ss = rank_supersteps(base_ev)
+        assert min(shrunk_ss.values()) <= min(base_ss.values())
+        assert np.array_equal(base.labels, shrunk.labels)
+
+    def test_fused_shrink_releases_ranks_strictly(self, graph):
+        """...but with fusion on, the shrink-check allgather merges into
+        the round's superstep and the released ranks finish with strictly
+        fewer supersteps than any rank of the fused unshrunk run."""
+        base, base_ev = traced_cc(graph, 4, shrink=False, fuse=True)
+        shrunk, shrunk_ev = traced_cc(graph, 4, shrink=True, fuse=True)
+        base_ss = rank_supersteps(base_ev)
+        shrunk_ss = rank_supersteps(shrunk_ev)
+        assert min(shrunk_ss.values()) < min(base_ss.values())
+        assert np.array_equal(base.labels, shrunk.labels)
+        assert base.n_components == shrunk.n_components
+
+    def test_shrunk_groups_appear_in_trace(self, graph):
+        _res, events = traced_cc(graph, 4, shrink=True)
+        sizes = {len(ev.participants) for ev in events if ev.kind != FINAL}
+        assert any(s < 4 for s in sizes), (
+            "post-split collectives must run on the shrunk group"
+        )
+
+
+class TestParityBoundary:
+    def test_hybrid_rejects_shrink(self, graph):
+        with pytest.raises(ValueError, match="iterated-sampling"):
+            connected_components(graph, 4, seed=0, hybrid=True, shrink=True)
+
+    def test_exact_mincut_has_no_shrink(self, graph):
+        # Deliberate API absence, not an omission: the eager splitter
+        # exchange and the recursion's group halving feed Philox stream
+        # assignment, so a shrunk group would change sampled edges.
+        with pytest.raises(TypeError):
+            minimum_cut(graph, 2, seed=0, trials=2, shrink=True)
+
+
+class TestMpShrink:
+    def test_mp_matches_sim(self, graph):
+        require_mp()
+        sim, sim_ev = traced_cc(graph, 4, shrink=True)
+        mp, mp_ev = traced_cc(graph, 4, shrink=True, backend_cls=MpBackend)
+        assert np.array_equal(sim.labels, mp.labels)
+        assert sim.report == mp.report
+        strip = lambda evs: [dataclasses.replace(e, wall_s=0.0)
+                             for e in evs]
+        assert strip(sim_ev) == strip(mp_ev)
+
+    def test_crash_in_shrunk_group_raises_typed_error(self, graph):
+        """A rank that crashes *after* the split — inside the shrunk
+        group — must surface as the same WorkerCrashError, with the same
+        message, as the simulator's deterministic injection."""
+        require_mp()
+        from repro.core.components import cc_program
+
+        # Find a step index that is provably after the split fired.
+        _res, events = traced_cc(graph, 4, shrink=True)
+        split_ev = next(ev for ev in events if ev.kind == "split")
+        crash_rank = split_ev.participants[0]  # stays active post-split
+        crash_step = max(split_ev.supersteps) + 2
+        assert any(ev.kind != FINAL and crash_rank in ev.participants
+                   and max(ev.supersteps) > crash_step for ev in events), \
+            "crash step must land before the program ends"
+
+        slices = graph.slices(4)
+        faults = [FaultSpec("crash", rank=crash_rank, step=crash_step)]
+
+        def msg(backend):
+            with pytest.raises(WorkerCrashError) as exc_info:
+                backend.run(cc_program, 4, seed=0, args=(slices, graph.n),
+                            kwargs={"shrink": True}, faults=faults)
+            assert exc_info.value.rank == crash_rank
+            return str(exc_info.value)
+
+        assert msg(SimBackend()) == msg(MpBackend())
