@@ -115,6 +115,34 @@ def summarize(rows):
     return out
 
 
+def input_plane_comparison(g, p, seed):
+    """Input-shipping pickle bytes per query, graph plane off vs on.
+
+    One extra mp run per algorithm per mode at the gate's p (4); the
+    ``input`` transport-stats kind isolates exactly the bytes the shared
+    graph plane removes (slice arrays out, O(1) segment handles in).
+    """
+    from repro.runtime import MpBackend
+
+    out = {"p": p}
+    for algorithm in ALGORITHMS:
+        kwargs = ({"trials": SQUARE_ROOT_TRIALS}
+                  if algorithm == "square_root" else {})
+        entry = {}
+        for label, plane in (("off", False), ("on", True)):
+            be = MpBackend(graph_plane=plane)
+            run_algorithm(algorithm, g, p=p, seed=seed, backend=be, **kwargs)
+            entry[f"input_bytes_{label}"] = int(
+                be.last_transport_stats["per_kind"]["input"]["pickle_bytes"])
+        entry["reduction"] = round(
+            entry["input_bytes_off"] / max(entry["input_bytes_on"], 1), 2)
+        out[algorithm] = entry
+        print(f"{algorithm:>12} p={p}: input bytes "
+              f"{entry['input_bytes_off']} -> {entry['input_bytes_on']} "
+              f"({entry['reduction']:.1f}x with the graph plane)")
+    return out
+
+
 def transport_totals(rows):
     """Per-kind transport stats summed over every mp run in the sweep."""
     kinds: dict[str, dict[str, int]] = {}
@@ -150,6 +178,7 @@ def main(argv=None) -> int:
           f"cpus={os.cpu_count()}")
 
     rows = run_suite(g, args.procs, args.seed)
+    plane = input_plane_comparison(g, min(4, max(args.procs)), args.seed)
     try:
         affinity = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -162,6 +191,8 @@ def main(argv=None) -> int:
         "rows": rows,
         "speedup_mp_over_sim": summarize(rows),
         "transport_totals": transport_totals(rows),
+        #: Input bytes per query, plane off vs on, at the gated p=4.
+        "graph_plane": plane,
         "all_results_match": all(r["results_match"] for r in rows),
         "all_counters_match": all(r["counters_match"] for r in rows),
         "metadata": {

@@ -53,6 +53,50 @@ SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 #: Acceptance bar: cold one-shot latency over warm repeat-query latency.
 WARM_SPEEDUP_FLOOR = 3.0
 
+#: Acceptance bar: input-shipping pickle bytes per warm repeat query,
+#: graph plane off over on, at p=4 (gated in benchmarks.perf_gate).
+BYTES_REDUCTION_FLOOR = 5.0
+
+
+def plane_bytes_per_query(p: int = 4, seed: int = 0) -> dict:
+    """Warm repeat-query input bytes per dispatch, graph plane off vs on.
+
+    Runs the same ``parallel_cc`` query twice against a fresh
+    :class:`~repro.runtime.warm.WarmMpBackend` per mode and reads the
+    repeat query's ``input``-kind transport stats: with the plane off the
+    dispatch re-pickles every worker's graph slice; with it on the wire
+    carries one O(1) segment handle.  Byte counts are deterministic
+    (fixed-width segment names and slab tokens), so the perf gate checks
+    them exactly and floors the off/on ratio at
+    :data:`BYTES_REDUCTION_FLOOR`.
+    """
+    from repro.graph import erdos_renyi
+    from repro.harness.experiment import run_algorithm
+    from repro.rng import philox_stream
+    from repro.runtime.warm import WarmMpBackend
+
+    g = erdos_renyi(400, 4000, philox_stream(seed + 5), weighted=True)
+    out = {"p": p, "n": g.n, "m": g.m, "algorithm": "parallel_cc"}
+    values = {}
+    for label, plane in (("off", False), ("on", True)):
+        be = WarmMpBackend(graph_plane=plane)
+        try:
+            run_algorithm("parallel_cc", g, p=p, seed=seed, backend=be)
+            res = run_algorithm("parallel_cc", g, p=p, seed=seed, backend=be)
+            stats = be.last_transport_stats
+            out[f"repeat_input_bytes_{label}"] = int(
+                stats["per_kind"]["input"]["pickle_bytes"])
+            values[label] = (int(res.n_components), int(res.labels.sum()),
+                             res.report)
+        finally:
+            be.close()
+    out["reduction"] = round(
+        out["repeat_input_bytes_off"]
+        / max(out["repeat_input_bytes_on"], 1), 2)
+    out["reduction_ok"] = out["reduction"] >= BYTES_REDUCTION_FLOOR
+    out["results_match"] = values["off"] == values["on"]
+    return out
+
 def _percentiles(samples: list[float]) -> dict:
     import numpy as np
 
@@ -149,7 +193,8 @@ def _concurrent_runs(address: str, graph_path: str, seed: int,
 
 
 def run_benchmarks(repeats: int = 5, seed: int = 0,
-                   clients: int = 3, per_client: int = 3) -> dict:
+                   clients: int = 3, per_client: int = 3,
+                   plane: bool = False) -> dict:
     from repro.graph import erdos_renyi, write_edgelist
     from repro.harness.experiment import run_algorithm
     from repro.rng import philox_stream
@@ -208,6 +253,11 @@ def run_benchmarks(repeats: int = 5, seed: int = 0,
         "sq_value": float(d_sq.value),
         "speedup_floor": WARM_SPEEDUP_FLOOR,
     }
+    if plane:
+        # Warm repeat-query input bytes, plane off vs on (the number the
+        # shared graph plane exists to shrink).
+        record["graph_plane"] = plane_bytes_per_query(p=4, seed=seed)
+        record["graph_plane"]["bytes_reduction_floor"] = BYTES_REDUCTION_FLOOR
     return record
 
 
@@ -221,7 +271,7 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     record = run_benchmarks(repeats=args.repeats, seed=args.seed,
                             clients=args.clients,
-                            per_client=args.per_client)
+                            per_client=args.per_client, plane=True)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True)
                               + "\n")
@@ -231,6 +281,13 @@ def main(argv=None) -> int:
           f"(floor {WARM_SPEEDUP_FLOOR:g}x), "
           f"concurrent {record['concurrent']['qps']:.1f} qps, "
           f"results_match={record['results_match']} -> {args.out}")
+    gp = record.get("graph_plane")
+    if gp:
+        print(f"graph plane: warm repeat input bytes "
+              f"{gp['repeat_input_bytes_off']} -> "
+              f"{gp['repeat_input_bytes_on']} "
+              f"({gp['reduction']:.1f}x, floor {BYTES_REDUCTION_FLOOR:g}x, "
+              f"results_match={gp['results_match']})")
     return 0
 
 

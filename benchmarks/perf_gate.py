@@ -37,6 +37,12 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   the served-equals-direct ``results_match`` flag, and the >= 3x
   warm-repeat-over-cold-one-shot latency floor.  Raw seconds are
   recorded in ``results/BENCH_serve.json`` but never gated.
+* **Graph-plane fingerprints** — the shared graph plane's deterministic
+  input-shipping byte counts from :func:`bench_serve.plane_bytes_per_query`:
+  exact bytes per warm repeat query with the plane off and on (pickle
+  sizes are deterministic by construction), the bit-identical
+  ``results_match`` flag, and the >= 5x off-over-on bytes-reduction
+  floor at p=4.
 * **Fusion fingerprints** — superstep fusion and group-shrink headline
   numbers from :mod:`benchmarks.bench_fusion`: exact superstep and
   total-ops counts per configuration (the schedule is deterministic, so
@@ -68,7 +74,8 @@ from bench_faults import run_benchmarks as run_fault_benchmarks
 from bench_kernels import run_benchmarks
 from bench_transport import ALLOC_REDUCTION_FLOOR
 from bench_transport import run_benchmarks as run_transport_benchmarks
-from bench_serve import WARM_SPEEDUP_FLOOR
+from bench_serve import BYTES_REDUCTION_FLOOR, WARM_SPEEDUP_FLOOR
+from bench_serve import plane_bytes_per_query
 from bench_serve import run_benchmarks as run_serve_benchmarks
 from bench_two_out import REDUCTION_FLOOR
 from bench_two_out import run_benchmarks as run_two_out_benchmarks
@@ -188,6 +195,25 @@ def serve_fingerprints(seed: int = 0) -> dict:
     }
 
 
+def graph_plane_fingerprints(seed: int = 0) -> dict:
+    """Deterministic shared-graph-plane gate fields from bench_serve.
+
+    Input-shipping bytes per warm repeat query are exact (fixed-width
+    segment names and slab tokens pin the pickle sizes), so both counts
+    are checked for drift; the off/on ratio must clear
+    :data:`~bench_serve.BYTES_REDUCTION_FLOOR` with bit-identical
+    results.
+    """
+    r = plane_bytes_per_query(p=4, seed=seed)
+    return {
+        "repeat_input_bytes_off": r["repeat_input_bytes_off"],
+        "repeat_input_bytes_on": r["repeat_input_bytes_on"],
+        "reduction": r["reduction"],
+        "reduction_ok": r["reduction_ok"],
+        "results_match": r["results_match"],
+    }
+
+
 def fusion_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
     """Deterministic fusion/shrink-gate fields from bench_fusion."""
     r = run_fusion_benchmarks(scale=scale, seed=seed)
@@ -220,6 +246,7 @@ def measure(scale: float = 1.0, seed: int = 0) -> dict:
         "two_out": two_out_fingerprints(scale=scale, seed=seed),
         "serve": serve_fingerprints(seed=seed),
         "fusion": fusion_fingerprints(scale=scale, seed=seed),
+        "graph_plane": graph_plane_fingerprints(seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -425,6 +452,34 @@ def _check_fusion(base: dict | None, now: dict, lines: list[str]) -> bool:
     return ok
 
 
+def _check_graph_plane(base: dict | None, now: dict,
+                       lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  graph_plane: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    # Exact drift checks: input pickle sizes are deterministic, so a
+    # byte moving means the wire format (handles, specs, CMD_RUN tuple)
+    # changed.
+    for key in ("repeat_input_bytes_off", "repeat_input_bytes_on"):
+        if base[key] != now[key]:
+            ok = False
+            lines.append(f"  graph_plane.{key}: baseline={base[key]!r} "
+                         f"current={now[key]!r}")
+    # Acceptance bars, re-proved on every run.
+    if not now["results_match"]:
+        ok = False
+        lines.append("  graph_plane.results_match: plane-on and plane-off "
+                     "runs produced different results")
+    if now["reduction"] < BYTES_REDUCTION_FLOOR:
+        ok = False
+        lines.append(
+            f"  graph_plane.reduction: {now['reduction']:.1f}x is under "
+            f"the {BYTES_REDUCTION_FLOOR:g}x input-bytes floor")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -441,8 +496,10 @@ def check(scale: float, seed: int, slack: float) -> int:
     two_out_ok = _check_two_out(base.get("two_out"), now["two_out"], lines)
     serve_ok = _check_serve(base.get("serve"), now["serve"], lines)
     fusion_ok = _check_fusion(base.get("fusion"), now["fusion"], lines)
+    plane_ok = _check_graph_plane(base.get("graph_plane"),
+                                  now["graph_plane"], lines)
     if (counters_ok and timings_ok and transport_ok and sched_ok
-            and two_out_ok and serve_ok and fusion_ok):
+            and two_out_ok and serve_ok and fusion_ok and plane_ok):
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
         segs = ", ".join(
@@ -460,7 +517,10 @@ def check(scale: float, seed: int, slack: float) -> int:
               f"{now['fusion']['appmc_reduction']:.2f}x and shrink "
               f"total-work reduction "
               f"{now['fusion']['cc_ops_reduction']:.2f}x with bit-identical "
-              f"results")
+              f"results, graph-plane input bytes "
+              f"{now['graph_plane']['repeat_input_bytes_off']}->"
+              f"{now['graph_plane']['repeat_input_bytes_on']} "
+              f"({now['graph_plane']['reduction']:.1f}x) exact")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

@@ -29,18 +29,32 @@ class BoundedLRU:
     ``capacity`` is the maximum total weight held; a single entry heavier
     than the capacity is rejected with ``ValueError`` rather than
     silently thrashing the whole store.
+
+    ``on_evict(key, value)`` is called for every entry that *leaves* the
+    store — LRU evictions, :meth:`pop` and :meth:`clear`, but **not**
+    same-key replacement (the key is still present) — always outside the
+    lock, so a callback may re-enter the store.  The serve layer uses it
+    to keep graph-plane pins in lockstep with residency: eviction is the
+    single unpin site.
     """
 
-    def __init__(self, capacity: float):
+    def __init__(self, capacity: float,
+                 on_evict: Callable[[Hashable, Any], None] | None = None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = float(capacity)
+        self.on_evict = on_evict
         self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
         self._weight = 0.0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _notify(self, evicted: "list[tuple[Hashable, Any]]") -> None:
+        if self.on_evict is not None:
+            for key, value in evicted:
+                self.on_evict(key, value)
 
     def __len__(self) -> int:
         with self._lock:
@@ -82,15 +96,18 @@ class BoundedLRU:
             )
         if weight < 0:
             raise ValueError(f"entry weight must be >= 0, got {weight}")
+        evicted: list[tuple[Hashable, Any]] = []
         with self._lock:
             if key in self._entries:
                 self._weight -= self._entries.pop(key)[1]
             while self._entries and self._weight + weight > self.capacity:
-                _, (_, w) = self._entries.popitem(last=False)
+                k, (v, w) = self._entries.popitem(last=False)
                 self._weight -= w
                 self.evictions += 1
+                evicted.append((k, v))
             self._entries[key] = (value, weight)
             self._weight += weight
+        self._notify(evicted)
 
     def get_or_load(self, key: Hashable, loader: Callable[[], Any],
                     weigher: Callable[[Any], float] = lambda _v: 1.0) -> Any:
@@ -108,13 +125,17 @@ class BoundedLRU:
             if key in self._entries:
                 value, w = self._entries.pop(key)
                 self._weight -= w
-                return value
-            return default
+            else:
+                return default
+        self._notify([(key, value)])
+        return value
 
     def clear(self) -> None:
         with self._lock:
+            evicted = [(k, v) for k, (v, _w) in self._entries.items()]
             self._entries.clear()
             self._weight = 0.0
+        self._notify(evicted)
 
     def keys(self) -> Iterator[Hashable]:
         """LRU-to-MRU key snapshot."""

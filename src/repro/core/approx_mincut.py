@@ -32,6 +32,7 @@ from repro.bsp.engine import Engine
 from repro.bsp.machine import TimeEstimate
 from repro.core.components import cc_kernel
 from repro.graph.edgelist import EdgeList
+from repro.graph.shm import plane_slices
 from repro.runtime.base import Backend, resolve_backend
 
 __all__ = ["approx_minimum_cut", "appmc_program", "ApproxMinCutResult"]
@@ -242,7 +243,7 @@ def approx_minimum_cut(
     if g.n < 2:
         raise ValueError("minimum cut needs at least 2 vertices")
     runtime = resolve_backend(backend, engine=engine, fuse=fuse)
-    slices = g.slices(p)
+    slices = plane_slices(g, p)  # shared-graph-plane marker
     result = runtime.run(
         appmc_program, p, seed=seed,
         args=(slices, g.n),

@@ -31,6 +31,7 @@ from repro.cache.traced import MemoryTracker, NullTracker
 from repro.core.sparsify import sparsify_unweighted
 from repro.graph.contract import components_from_edges
 from repro.graph.edgelist import EdgeList
+from repro.graph.shm import plane_slices
 from repro.kernels import flatten_parents
 from repro.runtime.base import Backend, resolve_backend
 
@@ -297,7 +298,9 @@ def connected_components(
             "hybrid finish redistributes edges across the full group"
         )
     runtime = resolve_backend(backend, engine=engine, fuse=fuse)
-    slices = g.slices(p)
+    # Lazy marker: the simulator resolves it to g.slices(p) locally; a
+    # plane-enabled mp backend ships an O(1) handle instead of p copies.
+    slices = plane_slices(g, p)
     program = cc_hybrid_program if hybrid else cc_program
     kwargs = {"eps": eps, "delta": delta}
     if not hybrid:

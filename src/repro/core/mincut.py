@@ -54,6 +54,7 @@ from repro.core.karger_stein import (
 from repro.core.sparsify import sparsify_weighted
 from repro.core.trials import num_trials
 from repro.graph.edgelist import EdgeList
+from repro.graph.shm import plane_slices
 from repro.kernels import bulk_contract_edges
 from repro.rng.sampling import CumulativeWeightSampler
 from repro.runtime.base import Backend, resolve_backend
@@ -653,7 +654,7 @@ def minimum_cut(
     if trials is None:
         trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
                             scale=trial_scale)
-    slices = g.slices(p)
+    slices = plane_slices(g, p)  # shared-graph-plane marker
     result = runtime.run(
         mincut_program, p, seed=seed,
         args=(slices, g.n, trials, seed),
@@ -727,7 +728,7 @@ def minimum_cuts(
     if trials is None:
         trials = num_trials(g.n, max(g.m, 1), success_prob=success_prob,
                             scale=trial_scale)
-    slices = g.slices(p)
+    slices = plane_slices(g, p)  # shared-graph-plane marker
     result = runtime.run(
         mincut_program, p, seed=seed,
         args=(slices, g.n, trials, seed),

@@ -71,6 +71,7 @@ from repro.cache.traced import AnalyticTracker, MemoryTracker, NullTracker
 from repro.core.sparsify import cached_sampler
 from repro.core.trials import achieved_success_probability, num_trials
 from repro.graph.edgelist import EdgeList
+from repro.graph.shm import plane_slices
 from repro.kernels import bulk_contract_edges, prefix_select_labels, \
     two_out_sample, vertex_incidence
 from repro.rng.streams import RngStreams, philox_stream
@@ -331,7 +332,7 @@ def plan_two_out(
     sing_val, _ = singleton_cut(g)
     rr = runtime.run(
         two_out_program, p, seed=seed,
-        args=(g.slices(p), g.n, seed, R, rounds),
+        args=(plane_slices(g, p), g.n, seed, R, rounds),
     )
     contractions = rr.root_value
     budgets = tuple(

@@ -35,7 +35,8 @@ from repro.graph.io import (
     read_snap,
     stream_edge_chunks,
 )
-from repro.graph.fingerprint import content_fingerprint
+from repro.graph.fingerprint import cached_fingerprint, content_fingerprint
+from repro.graph.shm import GraphHandle, plane_slices
 
 __all__ = [
     "EdgeList",
@@ -61,4 +62,7 @@ __all__ = [
     "read_snap",
     "stream_edge_chunks",
     "content_fingerprint",
+    "cached_fingerprint",
+    "GraphHandle",
+    "plane_slices",
 ]

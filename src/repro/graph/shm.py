@@ -1,0 +1,469 @@
+"""The shared graph plane: publish-once input distribution over POSIX shm.
+
+The multiprocess backends ship a program's inputs by pickling them into
+every worker's :class:`~repro.runtime.worker.WorkerSpec` (or per-query
+``CMD_RUN`` tuple) — **p independent copies of the edge arrays per
+dispatch**, even when the serve daemon's cache already holds the exact
+same graph.  This module removes that O(p·m) input path for the common
+case (the graph itself):
+
+* :func:`publish` copies a graph's ``u``/``v``/``w`` arrays **once** into
+  a single read-only, 64-byte-aligned POSIX shared-memory segment keyed
+  by :func:`~repro.graph.fingerprint.content_fingerprint`, and returns a
+  :class:`GraphHandle` — fingerprint, segment name, dtypes, shapes,
+  offsets — that pickles in O(1) regardless of ``m``.  Publishing the
+  same fingerprint again is idempotent and free.
+* Workers resolve handles lazily (:func:`resolve_plane`): attach the
+  segment, reconstruct zero-copy read-only numpy views, and keep both
+  the attachment and the derived slice lists in process-local caches so
+  repeat queries on the same graph are attach-free *and* return the
+  identical :class:`~repro.graph.edgelist.EdgeList` objects (which keeps
+  the samplers' identity-keyed caches warm, mirroring the arena's cached
+  peer attachments in :mod:`repro.runtime.transport`).
+* Lifetime is pin-counted: the publishing coordinator pins a fingerprint
+  for each layer that needs it alive (a run in flight, the warm
+  backend's retention window, the serve daemon's ``GraphCache``) and
+  :func:`unpublish` unlinks only once every pin is dropped.  An
+  ``atexit`` sweep plus the per-run ``finally`` blocks in the backends
+  guarantee a crashed run leaks zero ``/dev/shm`` segments; segment
+  names carry the fixed :data:`SEGMENT_PREFIX` so leak checks (tests,
+  CI) can simply glob ``/dev/shm/rgpl*``.
+
+Dispatch sites opt in by passing :func:`plane_slices(g, p) <plane_slices>`
+instead of ``g.slices(p)``.  The marker is **transport, not semantics**:
+the simulator (and a plane-disabled mp backend) resolves it locally to
+exactly ``g.slices(p)``, and attached workers rebuild the same
+``np.linspace`` slice bounds over byte-identical arrays — results,
+counters and traces are bit-identical with the plane on or off.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.fingerprint import cached_fingerprint
+
+__all__ = [
+    "PLANE_MIN_BYTES",
+    "SEGMENT_PREFIX",
+    "GraphHandle",
+    "PlaneSlices",
+    "SlicedHandle",
+    "plane_slices",
+    "default_plane_enabled",
+    "eligible",
+    "publish",
+    "pin",
+    "unpin",
+    "unpublish",
+    "published",
+    "plane_stats",
+    "stage_plane",
+    "localize_plane",
+    "resolve_plane",
+    "release_pins",
+    "shutdown_plane",
+]
+
+#: Array-byte alignment inside a published segment (cache-line starts).
+_ALIGN = 64
+
+#: Graphs whose combined edge-array bytes fall below this stay inline in
+#: the dispatch pickle: a pipe round-trip beats segment bookkeeping for
+#: tiny inputs (the transport applies the same logic per message).
+PLANE_MIN_BYTES = 1 << 15
+
+#: Every published segment name starts with this, so tests and CI leak
+#: checks can assert cleanliness with one ``/dev/shm/rgpl*`` glob.
+SEGMENT_PREFIX = "rgpl"
+
+#: Process-local cap on cached peer attachments (distinct graphs a
+#: worker keeps mapped); LRU beyond it.
+_ATTACH_CAP = 8
+
+#: Monotonic per-process publish sequence; fixed-width in the segment
+#: name so handle pickle sizes are deterministic across runs.
+_SEG_SEQ = itertools.count()
+
+_LOCK = threading.Lock()
+
+
+def default_plane_enabled() -> bool:
+    """Plane default for the mp backends; ``REPRO_GRAPH_PLANE=0`` disables."""
+    return os.environ.get("REPRO_GRAPH_PLANE", "1") != "0"
+
+
+def _untrack(name: str) -> None:
+    """Forget a segment in this process's resource tracker (the plane
+    manages unlinking itself; the tracker would warn or double-free)."""
+    try:
+        resource_tracker.unregister(f"/{name}" if not name.startswith("/")
+                                    else name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker is best-effort anyway
+        pass
+
+
+def _segment_name() -> str:
+    """Fixed-width, per-process-unique segment name.
+
+    Fixed width keeps handle pickle sizes deterministic (the perf gate
+    pins input bytes per query exactly); the monotonic sequence means a
+    name is never reused within a process, so worker attachment caches
+    keyed by name can never alias two generations of a graph.
+    """
+    return (f"{SEGMENT_PREFIX}{os.getpid() & 0xFFFFFFFF:08x}"
+            f"s{next(_SEG_SEQ) & 0xFFFFFF:06x}")
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """O(1) wire form of a published graph.
+
+    Everything needed to reconstruct zero-copy views — one segment, per
+    array offset/shape/dtype — in a couple hundred pickle bytes,
+    independent of ``m``.
+    """
+
+    fingerprint: str
+    n: int
+    m: int
+    segment: str
+    offsets: tuple[int, int, int]       # u, v, w byte offsets
+    dtypes: tuple[str, str, str]        # numpy dtype strs, same order
+
+    def graph(self) -> EdgeList:
+        """The published graph: registry object in the publisher process,
+        cached zero-copy attachment elsewhere."""
+        return _resolve_graph(self)
+
+
+class PlaneSlices:
+    """Coordinator-side lazy marker for ``g.slices(p)`` at a dispatch site.
+
+    Backends decide its fate: the simulator (and a plane-disabled mp
+    backend) calls :meth:`resolve` locally; a plane-enabled mp backend
+    publishes the graph and ships an O(1) :class:`SlicedHandle` instead.
+    Never pickled — a marker crossing the wire is a backend bug, so
+    pickling raises.
+    """
+
+    __slots__ = ("graph", "p", "_slices")
+
+    def __init__(self, graph: EdgeList, p: int):
+        self.graph = graph
+        self.p = int(p)
+        self._slices = None
+
+    def resolve(self) -> list[EdgeList]:
+        if self._slices is None:
+            self._slices = self.graph.slices(self.p)
+        return self._slices
+
+    def __reduce__(self):
+        raise TypeError(
+            "PlaneSlices markers are coordinator-local; a backend must "
+            "stage them (stage_plane) or resolve them (localize_plane) "
+            "before anything is pickled"
+        )
+
+
+@dataclass(frozen=True)
+class SlicedHandle:
+    """Wire marker: ``handle.graph().slices(p)``, resolved worker-side."""
+
+    handle: GraphHandle
+    p: int
+
+    def resolve(self) -> list[EdgeList]:
+        return _resolve_slices(self)
+
+
+def plane_slices(g: EdgeList, p: int) -> PlaneSlices:
+    """The marker dispatch sites pass in place of ``g.slices(p)``."""
+    return PlaneSlices(g, p)
+
+
+def eligible(g) -> bool:
+    """Whether ``g`` is worth publishing (see :data:`PLANE_MIN_BYTES`)."""
+    return (g.u.nbytes + g.v.nbytes + g.w.nbytes) >= PLANE_MIN_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Publisher registry (coordinator side)
+# ---------------------------------------------------------------------------
+
+class _Entry:
+    __slots__ = ("seg", "handle", "graph", "pins")
+
+    def __init__(self, seg, handle, graph):
+        self.seg = seg
+        self.handle = handle
+        self.graph = graph  # strong ref: keeps the publisher zero-work
+        self.pins = 0
+
+
+_REGISTRY: dict[str, _Entry] = {}
+_ATEXIT_REGISTERED = False
+
+
+def publish(g: EdgeList, *, fingerprint: str | None = None) -> GraphHandle:
+    """Publish ``g`` into the plane (idempotent per fingerprint).
+
+    Copies the edge arrays once into a fresh read-only segment; a second
+    publish of the same content returns the existing handle without
+    touching the arrays.  The caller should :func:`pin` the fingerprint
+    for as long as it needs the segment alive.
+    """
+    global _ATEXIT_REGISTERED
+    fp = fingerprint or cached_fingerprint(g)
+    with _LOCK:
+        entry = _REGISTRY.get(fp)
+        if entry is not None:
+            return entry.handle
+        arrays = (
+            np.ascontiguousarray(g.u, dtype=np.int64),
+            np.ascontiguousarray(g.v, dtype=np.int64),
+            np.ascontiguousarray(g.w, dtype=np.float64),
+        )
+        offsets = []
+        cursor = 0
+        for a in arrays:
+            cursor = -(-cursor // _ALIGN) * _ALIGN
+            offsets.append(cursor)
+            cursor += a.nbytes
+        seg = shared_memory.SharedMemory(name=_segment_name(), create=True,
+                                         size=max(cursor, 1))
+        _untrack(seg._name)
+        for a, off in zip(arrays, offsets):
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf,
+                             offset=off)
+            dst[...] = a
+        handle = GraphHandle(
+            fingerprint=fp, n=int(g.n), m=int(g.m), segment=seg.name,
+            offsets=tuple(offsets),
+            dtypes=tuple(a.dtype.str for a in arrays),
+        )
+        _REGISTRY[fp] = _Entry(seg, handle, g)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_plane)
+            _ATEXIT_REGISTERED = True
+        return handle
+
+
+def pin(fp: str) -> None:
+    """Hold the published segment alive across :func:`unpublish` calls."""
+    with _LOCK:
+        entry = _REGISTRY.get(fp)
+        if entry is not None:
+            entry.pins += 1
+
+
+def unpin(fp: str) -> None:
+    with _LOCK:
+        entry = _REGISTRY.get(fp)
+        if entry is not None and entry.pins > 0:
+            entry.pins -= 1
+
+
+def unpublish(fp: str) -> bool:
+    """Unlink ``fp``'s segment if (and only if) nothing pins it.
+
+    Returns whether the segment was actually reclaimed — callers drop
+    their pin first, so ``unpin(fp); unpublish(fp)`` releases one layer
+    and the last layer out turns off the lights.
+    """
+    with _LOCK:
+        entry = _REGISTRY.get(fp)
+        if entry is None or entry.pins > 0:
+            return False
+        del _REGISTRY[fp]
+        name = entry.seg.name
+        for key in [k for k in _ATTACHED_SLICES if k[0] == name]:
+            del _ATTACHED_SLICES[key]
+        _close_and_unlink(entry.seg)
+        return True
+
+
+def _close_and_unlink(seg) -> None:
+    name = seg._name
+    seg.close()
+    try:
+        _shm_unlink(name)
+    except FileNotFoundError:  # pragma: no cover - already swept
+        pass
+
+
+try:  # POSIX: raw shm_unlink, bypassing the resource tracker
+    import _posixshmem
+
+    def _shm_unlink(name: str) -> None:
+        _posixshmem.shm_unlink(name)
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    def _shm_unlink(name: str) -> None:
+        seg = shared_memory.SharedMemory(name=name)
+        seg.close()
+        seg.unlink()
+
+
+def published() -> dict[str, int]:
+    """fingerprint -> pin count of everything currently published."""
+    with _LOCK:
+        return {fp: e.pins for fp, e in _REGISTRY.items()}
+
+
+def plane_stats() -> dict:
+    """JSON-ready counters (the serve daemon's ``stats`` endpoint)."""
+    with _LOCK:
+        return {
+            "published": len(_REGISTRY),
+            "pinned": sum(1 for e in _REGISTRY.values() if e.pins > 0),
+            "bytes": sum(e.seg.size for e in _REGISTRY.values()),
+            "attached": len(_ATTACHED),
+        }
+
+
+def release_pins(fps) -> None:
+    """Drop one pin per fingerprint and unlink whatever became free."""
+    for fp in fps:
+        unpin(fp)
+        unpublish(fp)
+
+
+def shutdown_plane() -> None:
+    """Unlink everything regardless of pins (atexit sweep, test cleanup)."""
+    with _LOCK:
+        entries = list(_REGISTRY.values())
+        _REGISTRY.clear()
+        for entry in entries:
+            _close_and_unlink(entry.seg)
+        for seg in _ATTACHED.values():
+            seg.close()
+        _ATTACHED.clear()
+        _ATTACHED_GRAPHS.clear()
+        _ATTACHED_SLICES.clear()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side staging
+# ---------------------------------------------------------------------------
+
+def stage_plane(obj, pinned: list[str]):
+    """Publish every :class:`PlaneSlices` marker in ``obj`` for the wire.
+
+    Eligible graphs are published (idempotent), pinned (fingerprints
+    appended to ``pinned`` — the caller releases them when the run is
+    over), and replaced by O(1) :class:`SlicedHandle` markers; graphs
+    below :data:`PLANE_MIN_BYTES` are resolved locally and ship inline
+    exactly as before.
+    """
+    def fn(marker: PlaneSlices):
+        if not eligible(marker.graph):
+            return marker.resolve()
+        handle = publish(marker.graph)
+        pin(handle.fingerprint)
+        pinned.append(handle.fingerprint)
+        return SlicedHandle(handle, marker.p)
+
+    return _walk_markers(obj, fn)
+
+
+def localize_plane(obj):
+    """Resolve every marker in ``obj`` locally (sim / plane-off path)."""
+    return _walk_markers(obj, PlaneSlices.resolve)
+
+
+def _walk_markers(obj, fn):
+    if isinstance(obj, PlaneSlices):
+        return fn(obj)
+    if isinstance(obj, tuple):
+        return tuple(_walk_markers(x, fn) for x in obj)
+    if isinstance(obj, list):
+        return [_walk_markers(x, fn) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _walk_markers(v, fn) for k, v in obj.items()}
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Worker-side resolution (process-local caches)
+# ---------------------------------------------------------------------------
+
+#: segment name -> attached SharedMemory (LRU-bounded by _ATTACH_CAP).
+_ATTACHED: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+#: segment name -> reconstructed EdgeList (views over _ATTACHED[name]).
+_ATTACHED_GRAPHS: dict[str, EdgeList] = {}
+#: (segment name, p) -> slice list; identical objects on repeat queries
+#: keep the samplers' identity-keyed caches warm across CMD_RUNs.
+_ATTACHED_SLICES: dict[tuple[str, int], list[EdgeList]] = {}
+
+
+def _views_from_buffer(handle: GraphHandle, buf) -> EdgeList:
+    """Zero-copy read-only EdgeList over a published segment's buffer."""
+    cols = []
+    for off, dt in zip(handle.offsets, handle.dtypes):
+        a = np.ndarray((handle.m,), dtype=np.dtype(dt), buffer=buf,
+                       offset=off)
+        a.flags.writeable = False  # programs only read their inputs
+        cols.append(a)
+    return EdgeList(handle.n, cols[0], cols[1], cols[2],
+                    canonical=False, validate=False)
+
+
+def _resolve_graph(handle: GraphHandle) -> EdgeList:
+    with _LOCK:
+        entry = _REGISTRY.get(handle.fingerprint)
+        if entry is not None and entry.seg.name == handle.segment:
+            return entry.graph  # publisher process: the original object
+    g = _ATTACHED_GRAPHS.get(handle.segment)
+    if g is not None:
+        _ATTACHED.move_to_end(handle.segment)
+        return g
+    seg = shared_memory.SharedMemory(name=handle.segment)
+    _untrack(seg._name)
+    while len(_ATTACHED) >= _ATTACH_CAP:
+        old, old_seg = _ATTACHED.popitem(last=False)
+        _ATTACHED_GRAPHS.pop(old, None)
+        for key in [k for k in _ATTACHED_SLICES if k[0] == old]:
+            del _ATTACHED_SLICES[key]
+        old_seg.close()
+    _ATTACHED[handle.segment] = seg
+    g = _views_from_buffer(handle, seg.buf)
+    _ATTACHED_GRAPHS[handle.segment] = g
+    return g
+
+
+def _resolve_slices(marker: SlicedHandle) -> list[EdgeList]:
+    key = (marker.handle.segment, marker.p)
+    slices = _ATTACHED_SLICES.get(key)
+    if slices is None:
+        slices = _resolve_graph(marker.handle).slices(marker.p)
+        # Publisher-process resolutions are not attachment-backed; only
+        # cache slice lists tied to a cached attachment (or the
+        # registry, whose entries outlive their pins' holders).
+        _ATTACHED_SLICES[key] = slices
+    return slices
+
+
+def resolve_plane(obj):
+    """Materialize every wire marker in ``obj`` (worker-side inverse of
+    :func:`stage_plane`; plain inputs pass through untouched)."""
+    if isinstance(obj, SlicedHandle):
+        return obj.resolve()
+    if isinstance(obj, GraphHandle):
+        return obj.graph()
+    if isinstance(obj, tuple):
+        return tuple(resolve_plane(x) for x in obj)
+    if isinstance(obj, list):
+        return [resolve_plane(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: resolve_plane(v) for k, v in obj.items()}
+    return obj

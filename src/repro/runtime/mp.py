@@ -50,6 +50,12 @@ from repro.bsp.errors import CollectiveMismatchError, DeadlockError
 from repro.bsp.machine import TimeEstimate
 from repro.cache.model import CacheParams
 from repro.faults import FaultSpec
+from repro.graph.shm import (
+    default_plane_enabled,
+    localize_plane,
+    release_pins,
+    stage_plane,
+)
 from repro.runtime.base import Backend
 from repro.runtime.errors import (
     WorkerCrashError,
@@ -93,10 +99,11 @@ def _run_slab_token() -> str:
     Combines the coordinator pid, a monotonic per-process sequence and a
     millisecond timestamp so worker arena slab names (``{token}r{rank}n``)
     never collide across coordinators or runs, while staying well under
-    the POSIX shm name limit.
+    the POSIX shm name limit.  Fixed-width fields keep spec pickle sizes
+    (the ``input`` transport stat) deterministic across runs.
     """
-    return (f"rsh{os.getpid():x}g{next(_RUN_SEQ):x}"
-            f"t{int(time.time() * 1000) & 0xFFFFFF:x}")
+    return (f"rsh{os.getpid() & 0xFFFFFFFF:08x}g{next(_RUN_SEQ) & 0xFFFF:04x}"
+            f"t{int(time.time() * 1000) & 0xFFFFFF:06x}")
 
 
 def default_start_method() -> str:
@@ -220,6 +227,13 @@ class MpBackend(Backend):
         :mod:`repro.bsp.fusion`): ``True`` for the default
         :class:`~repro.bsp.fusion.FusionConfig`, or a ready config.  Off
         by default; explicit ``comm.batch`` requests always work.
+    graph_plane:
+        Zero-copy shared graph plane (:mod:`repro.graph.shm`): dispatch
+        sites that pass :func:`~repro.graph.shm.plane_slices` markers
+        get their graph published once into a read-only shm segment and
+        shipped to every worker as an O(1) handle instead of p pickled
+        copies.  Default on (``REPRO_GRAPH_PLANE=0`` flips the default);
+        off resolves markers locally — bit-identical results either way.
     """
 
     name = "mp"
@@ -235,6 +249,7 @@ class MpBackend(Backend):
         trace: bool = False,
         tracer: Tracer | None = None,
         fuse: bool | FusionConfig | None = None,
+        graph_plane: bool | None = None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive or None, got {timeout}")
@@ -262,6 +277,8 @@ class MpBackend(Backend):
         #: charges since its last reply) — the simulator's exact criterion,
         #: so fused runs stay bit-identical across backends.
         self.fuse = as_fusion_config(fuse)
+        self.graph_plane = (default_plane_enabled() if graph_plane is None
+                            else bool(graph_plane))
         #: Per-kind transport stats of the most recent run (coordinator +
         #: all workers merged), as :meth:`TransportStats.as_dict`.
         self.last_transport_stats: dict | None = None
@@ -298,6 +315,17 @@ class MpBackend(Backend):
         ctx = multiprocessing.get_context(self.start_method)
         args = tuple(args)
         kwargs = dict(kwargs or {})
+        # Graph-plane staging: publish each marked graph once and ship
+        # O(1) handles; pins are dropped (and segments unlinked unless a
+        # longer-lived layer also pins them) in the finally below — a
+        # crashed run cannot leak a published segment.
+        plane_pins: list[str] = []
+        if self.graph_plane:
+            args = stage_plane(args, plane_pins)
+            kwargs = stage_plane(kwargs, plane_pins)
+        else:
+            args = localize_plane(args)
+            kwargs = localize_plane(kwargs)
 
         fault_specs = tuple(faults or ())
         slab_token = _run_slab_token() if self.use_arena else None
@@ -313,11 +341,24 @@ class MpBackend(Backend):
                 slab_prefix=(f"{slab_token}r{rank}n" if slab_token else None),
             )
 
-        pool = _Pool(ctx, p, spec_for, slab_token=slab_token)
+        specs = [spec_for(rank) for rank in range(p)]
+        # Logical input footprint: what shipping the specs costs in
+        # pickle bytes (under spawn this is literally what crosses the
+        # wire; under fork it is the same byte count, just not paid).
+        # Guarded: fork-only callers may pass non-picklable programs.
+        input_bytes = 0
         try:
-            return self._coordinate(engine, pool, p)
+            input_bytes = sum(
+                len(ForkingPickler.dumps(s)) for s in specs)
+        except Exception:
+            pass
+        pool = _Pool(ctx, p, specs.__getitem__, slab_token=slab_token)
+        try:
+            return self._coordinate(engine, pool, p,
+                                    input_bytes=input_bytes)
         finally:
             pool.shutdown()
+            release_pins(plane_pins)
 
     # -- coordinator ---------------------------------------------------------
 
@@ -332,7 +373,8 @@ class MpBackend(Backend):
         return WorkerCrashError(rank, proc.exitcode, superstep=superstep)
 
     def _coordinate(self, engine: Engine, pool: _Pool, p: int,
-                    transport: Transport | None = None) -> RunResult:
+                    transport: Transport | None = None,
+                    input_bytes: int = 0) -> RunResult:
         tracer = self.tracer
         events_before = len(tracer)
         last_event_t = [perf_counter()]  # wall clock between collectives
@@ -345,6 +387,9 @@ class MpBackend(Backend):
             # outlives this run; stats restart so last_transport_stats
             # stays per-run.
             transport.stats = TransportStats()
+        # Input shipping gets its own stats kind so benches can report
+        # bytes-per-query with the graph plane on vs off.
+        transport.stats.note("input", messages=p, pickle_bytes=input_bytes)
         # pending: rank -> (op, since_sync, clean, pre-request snapshot)
         pending: dict[int, tuple[CollectiveOp, float, bool, tuple | None]] = {}
         finished: set[int] = set()

@@ -17,6 +17,7 @@ from repro.bsp.fusion import FusionConfig
 from repro.bsp.machine import MachineModel
 from repro.cache.model import CacheParams
 from repro.faults import FaultInjector, FaultSpec
+from repro.graph.shm import localize_plane
 from repro.runtime.base import Backend
 from repro.runtime.errors import WorkerCrashError, WorkerTimeoutError
 from repro.trace.tracer import Tracer
@@ -110,4 +111,8 @@ class SimBackend(Backend):
         """
         if faults:
             program = _with_faults(program, tuple(faults))
+        # Graph-plane markers resolve locally: the simulator sees exactly
+        # g.slices(p), so the plane is invisible to results and counters.
+        args = localize_plane(tuple(args))
+        kwargs = localize_plane(dict(kwargs or {}))
         return self.engine.run(program, p, seed=seed, args=args, kwargs=kwargs)

@@ -17,8 +17,14 @@ literally shared (:meth:`MpBackend._coordinate` with an external
 transport) — so results, counters and traces stay bit-identical to the
 one-shot backend and the simulator for a fixed seed.  Differences:
 
-* Programs are shipped per-run through the pipe, pickled by reference,
-  so they must be module-level functions (every program in the tree is).
+* Programs are shipped through the pipe pickled by reference the first
+  time they run on a pool — a small integer token thereafter (workers
+  cache the callable per token) — so they must be module-level functions
+  (every program in the tree is).
+* Graph-plane inputs (:mod:`repro.graph.shm`) stay *pinned* across runs:
+  an LRU window of ``plane_retain`` recently queried graphs keeps their
+  published segments alive, so a repeat query ships only an O(1) handle
+  and the workers' cached attachments make it attach-free too.
 * On any :class:`~repro.runtime.errors.WorkerFailure` the whole pool is
   discarded — surviving workers may be blocked mid-collective — and the
   next ``run()`` transparently respawns it.  Failure behavior therefore
@@ -37,10 +43,13 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import operator as _operator
+from collections import OrderedDict
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.bsp.engine import Engine, RunResult
 from repro.faults import FaultSpec
+from repro.graph.shm import localize_plane, release_pins, stage_plane, unpin
 from repro.runtime.mp import MpBackend, _Pool, _run_slab_token
 from repro.runtime.transport import Transport
 from repro.runtime.worker import (
@@ -54,6 +63,11 @@ __all__ = ["WarmMpBackend"]
 
 logger = logging.getLogger(__name__)
 
+#: Published graphs the warm backend keeps pinned across runs (LRU):
+#: repeat queries on a recently seen graph re-use its segment without a
+#: republish, and the workers' attachment caches stay valid.
+DEFAULT_PLANE_RETAIN = 8
+
 
 class WarmMpBackend(MpBackend):
     """Multiprocess backend that keeps its worker pool warm across runs.
@@ -65,7 +79,7 @@ class WarmMpBackend(MpBackend):
 
     name = "warm"
 
-    def __init__(self, **kwargs):
+    def __init__(self, *, plane_retain: int = DEFAULT_PLANE_RETAIN, **kwargs):
         super().__init__(**kwargs)
         self._pool: _Pool | None = None
         self._pool_p: int | None = None
@@ -73,6 +87,14 @@ class WarmMpBackend(MpBackend):
         #: Pool generation counter: spawns observed (tests assert warmth
         #: by watching this stay flat across runs).
         self.pool_spawns = 0
+        #: Published-graph retention window: fingerprint -> True, LRU
+        #: over the last ``plane_retain`` distinct graphs; each holds one
+        #: pin so repeat queries stay publish-free.
+        self.plane_retain = int(plane_retain)
+        self._plane_retained: OrderedDict[str, bool] = OrderedDict()
+        #: program -> small int token; workers cache the callable by
+        #: token so repeat runs never re-pickle the program reference.
+        self._program_tokens: dict[Any, int] = {}
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -109,10 +131,18 @@ class WarmMpBackend(MpBackend):
             self.pool_spawns += 1
         return self._pool
 
+    def _release_plane(self) -> None:
+        """Drop every retained graph pin (and unlink the unpinned)."""
+        retained = list(self._plane_retained)
+        self._plane_retained.clear()
+        release_pins(retained)
+
     def _discard_pool(self) -> None:
         """Tear down after a failure: workers may be wedged mid-collective."""
         pool, self._pool = self._pool, None
         self._pool_p = None
+        self._program_tokens.clear()
+        self._release_plane()
         transport, self._transport = self._transport, None
         if transport is not None:
             transport.close()
@@ -123,6 +153,8 @@ class WarmMpBackend(MpBackend):
         """Gracefully stop the pool and unlink every arena slab."""
         pool, self._pool = self._pool, None
         self._pool_p = None
+        self._program_tokens.clear()
+        self._release_plane()
         transport, self._transport = self._transport, None
         if transport is not None:
             transport.close()
@@ -138,6 +170,28 @@ class WarmMpBackend(MpBackend):
         # Already-exited workers make shutdown() a drain + sweep; anything
         # still alive is terminated there.
         pool.shutdown()
+
+    def _retain_plane(self, run_pins: list[str]) -> None:
+        """Migrate a finished run's graph pins into the retention LRU.
+
+        A graph already retained just refreshes its recency (the run's
+        extra pin is dropped); a new one hands its run pin to the window,
+        evicting — unpinning and unlinking — the least recent beyond
+        ``plane_retain``.  After a failure teardown (no pool) the pins
+        are simply released: nothing is retained across a respawn.
+        """
+        if self._pool is None or self.plane_retain <= 0:
+            release_pins(run_pins)
+            return
+        for fp in run_pins:
+            if fp in self._plane_retained:
+                self._plane_retained.move_to_end(fp)
+                unpin(fp)  # retention already holds its own pin
+            else:
+                self._plane_retained[fp] = True  # run pin becomes ours
+        while len(self._plane_retained) > self.plane_retain:
+            old, _ = self._plane_retained.popitem(last=False)
+            release_pins((old,))
 
     def __enter__(self) -> "WarmMpBackend":
         return self
@@ -170,16 +224,42 @@ class WarmMpBackend(MpBackend):
         engine = Engine(cache=self.cache)  # shared collective semantics
         world = engine._new_group(tuple(range(p)))
         pool = self._ensure_pool(p)
-        cmd = (CMD_RUN, world.gid, seed, program, tuple(args),
-               dict(kwargs or {}), self.tracer.enabled, tuple(faults or ()))
+        args = tuple(args)
+        kwargs = dict(kwargs or {})
+        # Graph plane: publish/pin marked graphs for this run; afterwards
+        # the pins migrate into the LRU retention window so the next
+        # query on the same graph ships only its O(1) handle.
+        run_pins: list[str] = []
+        if self.graph_plane:
+            args = stage_plane(args, run_pins)
+            kwargs = stage_plane(kwargs, run_pins)
+        else:
+            args = localize_plane(args)
+            kwargs = localize_plane(kwargs)
+        # Program token: ship the callable once per pool generation, a
+        # small token thereafter (the workers cache it by token).
+        token = self._program_tokens.get(program)
+        wire_program = None if token is not None else program
+        if token is None:
+            token = self._program_tokens[program] = \
+                len(self._program_tokens)
+        cmd = (CMD_RUN, world.gid, seed, token, wire_program, args, kwargs,
+               self.tracer.enabled, tuple(faults or ()))
+        # One pickle for all ranks: send_bytes reuses the buffer, so the
+        # per-run input cost is p pipe writes of one encoding — and with
+        # the plane on, that encoding is O(1) in the graph size.
+        buf = bytes(ForkingPickler.dumps(cmd))
         try:
             for rank, conn in enumerate(pool.conns):
                 try:
-                    conn.send(cmd)
+                    conn.send_bytes(buf)
                 except (BrokenPipeError, OSError):
                     raise self._crash(pool, rank) from None
             return self._coordinate(engine, pool, p,
-                                    transport=self._transport)
+                                    transport=self._transport,
+                                    input_bytes=len(buf) * p)
         except BaseException:
             self._discard_pool()
             raise
+        finally:
+            self._retain_plane(run_pins)

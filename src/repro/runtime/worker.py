@@ -38,6 +38,7 @@ from repro.bsp.engine import Context
 from repro.bsp.errors import CollectiveMismatchError
 from repro.cache.model import CacheParams
 from repro.faults import FaultInjector, FaultSpec
+from repro.graph.shm import resolve_plane
 from repro.rng.streams import RngStreams
 from repro.runtime.transport import Transport, TransportStats, encode_payload
 
@@ -128,7 +129,11 @@ def _drive(conn, spec: WorkerSpec, transport: Transport | None = None) -> None:
     #: exactly as the simulator's fault wrapper does).
     post_sync = (counters.ops, counters.misses)
 
-    gen = spec.program(ctx, *spec.args, **spec.kwargs)
+    # Graph-plane markers resolve here, once per run: attach the published
+    # segment (cached across a warm worker's runs) and rebuild zero-copy
+    # read-only views — the O(1)-pickle input path (repro.graph.shm).
+    gen = spec.program(ctx, *resolve_plane(spec.args),
+                       **resolve_plane(spec.kwargs))
     while True:
         t0 = perf_counter()
         try:
@@ -287,17 +292,20 @@ def persistent_worker_main(conn, spec: WorkerSpec) -> None:
     drives each through :func:`_drive` against a single long-lived
     :class:`~repro.runtime.transport.Transport`, so arena slabs stay
     mapped across runs.  Programs arrive pickled by *reference* (module
-    + qualname), so warm pools require module-level program functions —
-    true of every program in the tree.  :data:`CMD_EXIT` (or EOF from a
-    departed coordinator) closes the arena and exits cleanly; any error
-    is reported and ends the process, because a failed collective can
-    leave peers blocked mid-protocol — the coordinator discards the
-    whole pool on failure anyway.
+    + qualname) the **first** time a coordinator-assigned token appears;
+    repeat runs ship only the token and the worker replays the cached
+    callable — warm pools therefore require module-level program
+    functions, true of every program in the tree.  :data:`CMD_EXIT` (or
+    EOF from a departed coordinator) closes the arena and exits cleanly;
+    any error is reported and ends the process, because a failed
+    collective can leave peers blocked mid-protocol — the coordinator
+    discards the whole pool on failure anyway.
     """
     _reset_inherited_signals()
     transport = Transport(threshold=spec.shm_threshold,
                           use_arena=spec.use_arena,
                           slab_prefix=spec.slab_prefix)
+    programs: dict[int, Callable] = {}  # coordinator token -> callable
     try:
         while True:
             try:
@@ -308,7 +316,12 @@ def persistent_worker_main(conn, spec: WorkerSpec) -> None:
                 break
             if msg[0] != CMD_RUN:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unknown warm-pool command {msg[0]!r}")
-            _, world_gid, seed, program, args, kwargs, trace, faults = msg
+            _, world_gid, seed, token, program, args, kwargs, trace, \
+                faults = msg
+            if program is None:
+                program = programs[token]
+            else:
+                programs[token] = program
             _drive(conn, replace(
                 spec, world_gid=world_gid, seed=seed, program=program,
                 args=args, kwargs=kwargs, trace=trace, faults=faults,

@@ -103,11 +103,17 @@ class Daemon:
         self.config = config
         os.makedirs(config.state_dir, exist_ok=True)
         self.store = JobStore(config.state_dir)
-        self.cache = GraphCache(capacity_edges=config.cache_edges,
-                                derivative_capacity=config.cache_plans)
-        self.queue = DeficitFairQueue(quantum=config.quantum)
         self.backend = (config.backend if isinstance(config.backend, Backend)
                         else resolve_backend(config.backend))
+        # Cache residency drives graph-plane pins when the backend ships
+        # plane handles: a cached graph's segment stays published until
+        # LRU eviction, so repeat queries are publish-free.
+        self.cache = GraphCache(
+            capacity_edges=config.cache_edges,
+            derivative_capacity=config.cache_plans,
+            plane=bool(getattr(self.backend, "graph_plane", False)),
+        )
+        self.queue = DeficitFairQueue(quantum=config.quantum)
         self.scheduler = TrialScheduler(
             max_retries=config.max_retries, backoff_s=config.backoff_s,
             wave_size=config.wave_size,
@@ -224,6 +230,14 @@ class Daemon:
                 if not job.terminal and job.state != "queued":
                     job.state = "queued"   # resumable on restart
                 self.store.save(job)
+        # Drop every plane pin this daemon holds — open runs' plan pins,
+        # then the cache's residency pins, then the warm backend's
+        # retention pins (inside close) — so a clean shutdown leaves
+        # /dev/shm empty.
+        for run in list(self._runs.values()):
+            run.release()
+        self._runs.clear()
+        self.cache.close()
         self.backend.close()
         addr = self.address
         if addr and os.sep in addr and os.path.exists(addr):
@@ -371,8 +385,8 @@ class Daemon:
                 return ok_doc(job=job.id, state=job.state)
             job.state = "cancelled"
             job.finished_at = time.time()
-            self._runs.pop(job.id, None)
             self._cv.notify_all()
+        self._release_run(job.id)
         self.queue.drop_items(lambda jid: jid == job.id)
         self.store.save(job)
         return ok_doc(job=job.id, state="cancelled")
@@ -382,6 +396,8 @@ class Daemon:
             states: dict[str, int] = {}
             for job in self.jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+        from repro.graph.shm import plane_stats
+
         return ok_doc(
             uptime_s=time.time() - self.started_at,
             backend=self.backend.name,
@@ -389,6 +405,7 @@ class Daemon:
             jobs=states,
             cache=self.cache.stats(),
             queue=self.queue.stats(),
+            graph_plane=plane_stats(),
         )
 
     # -- executor ------------------------------------------------------------
@@ -411,7 +428,19 @@ class Daemon:
                 self._run_slice(job)
             except Exception as exc:
                 logger.exception("job %s failed", job.id)
+                self._release_run(job.id)
                 self._finish_job(job, error=f"{type(exc).__name__}: {exc}")
+
+    def _release_run(self, job_id: str) -> None:
+        """Abandon a job's open TrialRun, dropping its plane pin.
+
+        Every path that leaves a run unfinished (cancel, executor error,
+        shutdown) funnels through here; an in-flight wave is unaffected
+        because each dispatch holds its own pin for its duration.
+        """
+        run = self._runs.pop(job_id, None)
+        if run is not None:
+            run.release()
 
     def _graph_for(self, job: Job):
         g = self.cache.get_graph(job.fingerprint)
@@ -465,7 +494,7 @@ class Daemon:
         with self._cv:
             cancelled = job.state == "cancelled"
         if cancelled:
-            self._runs.pop(job.id, None)
+            self._release_run(job.id)
             return
         if not run.done:
             return
