@@ -43,6 +43,15 @@ Two kinds of baseline live in ``results/perf_baseline.json``:
   sizes are deterministic by construction), the bit-identical
   ``results_match`` flag, and the >= 5x off-over-on bytes-reduction
   floor at p=4.
+* **Dynamic fingerprints** — the streaming-update subsystem's
+  deterministic acceptance bars from :mod:`benchmarks.bench_dynamic`:
+  final component count and canonical label sha after the churn
+  workload, final exact/approx cut values and the sparsifier's content
+  sha (all bit-exact by the replay-determinism contract), the
+  every-epoch ``results_match`` flag, and the >= 3x
+  incremental-over-full-recompute query floor.  Raw update/query
+  latencies are recorded in ``results/BENCH_dynamic.json`` but never
+  gated.
 * **Fusion fingerprints** — superstep fusion and group-shrink headline
   numbers from :mod:`benchmarks.bench_fusion`: exact superstep and
   total-ops counts per configuration (the schedule is deterministic, so
@@ -79,6 +88,8 @@ from bench_serve import plane_bytes_per_query
 from bench_serve import run_benchmarks as run_serve_benchmarks
 from bench_two_out import REDUCTION_FLOOR
 from bench_two_out import run_benchmarks as run_two_out_benchmarks
+from bench_dynamic import DYNAMIC_SPEEDUP_FLOOR
+from bench_dynamic import run_benchmarks as run_dynamic_benchmarks
 from bench_fusion import OPS_REDUCTION_FLOOR as FUSION_OPS_FLOOR
 from bench_fusion import REDUCTION_FLOOR as FUSION_REDUCTION_FLOOR
 from bench_fusion import run_benchmarks as run_fusion_benchmarks
@@ -214,6 +225,22 @@ def graph_plane_fingerprints(seed: int = 0) -> dict:
     }
 
 
+def dynamic_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
+    """Deterministic dynamic-gate fields from bench_dynamic."""
+    r = run_dynamic_benchmarks(scale=scale, seed=seed)
+    return {
+        "final_n_components": r["cc"]["final_n_components"],
+        "final_labels_sha256": r["cc"]["final_labels_sha256"],
+        "exact_value": r["cut"]["exact_value"],
+        "approx_value": r["cut"]["approx_value"],
+        "sparsifier_sha256": r["cut"]["sparsifier_sha256"],
+        "resparsifications": r["cut"]["resparsifications"],
+        "speedup": r["speedup"],
+        "speedup_ok": r["speedup_ok"],
+        "results_match": r["results_match"],
+    }
+
+
 def fusion_fingerprints(scale: float = 1.0, seed: int = 0) -> dict:
     """Deterministic fusion/shrink-gate fields from bench_fusion."""
     r = run_fusion_benchmarks(scale=scale, seed=seed)
@@ -247,6 +274,7 @@ def measure(scale: float = 1.0, seed: int = 0) -> dict:
         "serve": serve_fingerprints(seed=seed),
         "fusion": fusion_fingerprints(scale=scale, seed=seed),
         "graph_plane": graph_plane_fingerprints(seed=seed),
+        "dynamic": dynamic_fingerprints(scale=scale, seed=seed),
         "meta": {"scale": scale, "seed": seed},
     }
 
@@ -480,6 +508,35 @@ def _check_graph_plane(base: dict | None, now: dict,
     return ok
 
 
+def _check_dynamic(base: dict | None, now: dict, lines: list[str]) -> bool:
+    if base is None:
+        lines.append("  dynamic: section missing from blessed baseline "
+                     "(re-bless to record it)")
+        return False
+    ok = True
+    # Exact drift checks: the final labels, cut values and sparsifier
+    # bytes are pure functions of (workload, seed, p) by the replay-
+    # determinism contract, so any movement means the incremental
+    # maintenance or amortization policy changed.
+    for key in ("final_n_components", "final_labels_sha256", "exact_value",
+                "approx_value", "sparsifier_sha256", "resparsifications"):
+        if base[key] != now[key]:
+            ok = False
+            lines.append(f"  dynamic.{key}: baseline={base[key]!r} "
+                         f"current={now[key]!r}")
+    # Acceptance bars, re-proved on every run.
+    if not now["results_match"]:
+        ok = False
+        lines.append("  dynamic.results_match: incremental answers differ "
+                     "from full recompute / replay / served answers")
+    if now["speedup"] < DYNAMIC_SPEEDUP_FLOOR:
+        ok = False
+        lines.append(
+            f"  dynamic.speedup: {now['speedup']:.1f}x is under the "
+            f"{DYNAMIC_SPEEDUP_FLOOR:g}x incremental-over-full floor")
+    return ok
+
+
 def check(scale: float, seed: int, slack: float) -> int:
     if not BASELINE_PATH.exists():
         print(f"perf_gate: no baseline at {BASELINE_PATH}; "
@@ -498,8 +555,10 @@ def check(scale: float, seed: int, slack: float) -> int:
     fusion_ok = _check_fusion(base.get("fusion"), now["fusion"], lines)
     plane_ok = _check_graph_plane(base.get("graph_plane"),
                                   now["graph_plane"], lines)
+    dynamic_ok = _check_dynamic(base.get("dynamic"), now["dynamic"], lines)
     if (counters_ok and timings_ok and transport_ok and sched_ok
-            and two_out_ok and serve_ok and fusion_ok and plane_ok):
+            and two_out_ok and serve_ok and fusion_ok and plane_ok
+            and dynamic_ok):
         speeds = ", ".join(f"{k}={v['speedup']:.1f}x"
                            for k, v in sorted(now["timings"].items()))
         segs = ", ".join(
@@ -520,7 +579,9 @@ def check(scale: float, seed: int, slack: float) -> int:
               f"results, graph-plane input bytes "
               f"{now['graph_plane']['repeat_input_bytes_off']}->"
               f"{now['graph_plane']['repeat_input_bytes_on']} "
-              f"({now['graph_plane']['reduction']:.1f}x) exact")
+              f"({now['graph_plane']['reduction']:.1f}x) exact, dynamic "
+              f"incremental speedup {now['dynamic']['speedup']:.1f}x with "
+              f"bit-identical replay")
         return 0
     print("perf_gate: REGRESSION", file=sys.stderr)
     if not counters_ok:

@@ -43,6 +43,14 @@ loaded graphs warm across queries; ``query`` is the blocking client::
     python -m repro.cli query /tmp/repro.sock square_root g.txt --seed 1
     python -m repro.cli query /tmp/repro.sock --shutdown
 
+``dynamic`` streams a deterministic edge-update workload into a running
+daemon's dynamic-graph session (``repro.dynamic``), interleaving warm
+component/cut queries; ``--verify`` cross-checks every answer against a
+local replay of the same stream::
+
+    python -m repro.cli dynamic /tmp/repro.sock g.txt --batches 8 \
+        --cut exact --verify
+
 ``--trace PATH`` records a per-superstep JSON-lines trace;
 ``analyze-trace`` replays one offline, ranking the heaviest supersteps
 under the machine model and emitting a fusion plan (which adjacent
@@ -274,6 +282,70 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_dynamic(args) -> int:
+    """Stream a deterministic update workload into a serve daemon.
+
+    Opens a dynamic session on the input graph, replays a synthetic
+    update stream (``repro.dynamic.update_stream``, keyed by --seed),
+    and interleaves component/cut queries every --query-every batches.
+    With --verify every answer is checked bit-for-bit against a local
+    :class:`~repro.dynamic.DynamicGraph` replaying the same stream.
+    """
+    import json
+
+    from repro.dynamic import DynamicGraph, update_stream
+    from repro.serve import Client, ServeError, wait_server
+
+    if args.wait_server:
+        wait_server(args.address, timeout=args.wait_server)
+    g = read_edgelist(args.input)
+    stream = update_stream(g, seed=args.seed, batches=args.batches,
+                           batch_size=args.batch_size)
+    mirror = (DynamicGraph(g, p=args.procs, seed=args.seed, backend="sim")
+              if args.verify else None)
+    failures = 0
+    with Client(args.address, client=args.client) as client:
+        sid = client.dyn_open(os.path.abspath(args.input), seed=args.seed,
+                              p=args.procs)
+        try:
+            for b, ops in enumerate(stream):
+                st = client.dyn_update(sid, ops)
+                if mirror is not None:
+                    mirror.update_edges(ops)
+                if (b + 1) % args.query_every and b + 1 != args.batches:
+                    continue
+                cc = client.dyn_components(sid)
+                line = {"epoch": st["epoch"], "ops": len(ops),
+                        "n_components": cc["n_components"],
+                        "labels_sha256": cc["labels_sha256"], "via": cc["via"]}
+                if args.cut:
+                    cut = client.dyn_cut(sid, mode=args.cut)
+                    line["cut"] = cut["value"]
+                if mirror is not None:
+                    ref = mirror.query_components()
+                    match = (cc["n_components"] == ref.n_components
+                             and cc["labels"] == [int(x) for x in ref.labels])
+                    if args.cut:
+                        match &= (line["cut"]
+                                  == mirror.query_cut(mode=args.cut).value)
+                    line["verified"] = bool(match)
+                    failures += not match
+                print(json.dumps(line, sort_keys=True), flush=True)
+            staleness = client.dyn_staleness(sid)
+            staleness.pop("ok", None)
+            print(json.dumps({"staleness": staleness}, sort_keys=True))
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            client.dyn_close(sid)
+    if failures:
+        print(f"error: {failures} queries diverged from the local replay",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_analyze_trace(args) -> int:
     """Offline analyzer over a recorded JSON-lines trace."""
     import json
@@ -456,6 +528,34 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=_cmd_query)
 
     sp = sub.add_parser(
+        "dynamic",
+        help="stream edge updates into a serve daemon's dynamic session "
+             "(repro.dynamic)")
+    sp.add_argument("address", help="daemon address (socket path or "
+                                    "host:port)")
+    sp.add_argument("input", help="edge-list file (the epoch-0 graph)")
+    sp.add_argument("--procs", "-p", type=int, default=4)
+    sp.add_argument("--seed", type=int, default=0,
+                    help="keys both the update stream and the session's "
+                         "query RNG")
+    sp.add_argument("--batches", type=int, default=8,
+                    help="update batches to stream (default 8)")
+    sp.add_argument("--batch-size", type=int, default=16,
+                    help="edge updates per batch (default 16)")
+    sp.add_argument("--query-every", type=int, default=1,
+                    help="query components every N batches (default 1)")
+    sp.add_argument("--cut", choices=("exact", "approx"), default=None,
+                    help="also query the minimum cut at each query point")
+    sp.add_argument("--verify", action="store_true",
+                    help="check every answer bit-for-bit against a local "
+                         "replay of the same update stream")
+    sp.add_argument("--client", default="cli", help="fair-queue identity")
+    sp.add_argument("--wait-server", type=float, default=None,
+                    metavar="SECONDS",
+                    help="poll until the daemon answers ping first")
+    sp.set_defaults(func=_cmd_dynamic)
+
+    sp = sub.add_parser(
         "analyze-trace",
         help="rank heavy supersteps and detect fusible sequences in a "
              "recorded trace (repro.trace.analyze)")
@@ -542,6 +642,14 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         if not probe and not (args.algorithm and args.input):
             parser.error("query needs an algorithm and an input file "
                          "(or one of --ping/--stats/--shutdown)")
+    if getattr(args, "command", None) == "dynamic":
+        if args.batches < 1:
+            parser.error(f"--batches must be >= 1, got {args.batches}")
+        if args.batch_size < 1:
+            parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+        if args.query_every < 1:
+            parser.error(f"--query-every must be >= 1, got "
+                         f"{args.query_every}")
     trace = getattr(args, "trace", None)
     if trace is not None:
         d = os.path.dirname(os.path.abspath(trace))

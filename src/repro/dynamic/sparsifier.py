@@ -1,0 +1,269 @@
+"""Incrementally maintained weighted cut sparsifier.
+
+Hariharan–Panigrahi-style maintenance on top of the repo's existing
+weighted sampling primitive (:func:`~repro.core.sparsify.
+sparsify_weighted`, §3.1 of the paper):
+
+* A **rebuild** draws ``s`` i.i.d. weighted edge samples from the epoch
+  snapshot as a BSP program through the configured backend — the same
+  O(1)-superstep gather/multinomial/scatter pipeline every other
+  consumer uses — and assigns each sampled slot the importance weight
+  ``W/s`` (an unbiased estimator of every cut).  Per-edge sampling
+  rates are ``r_e = s·w_e/W``; they are recorded, not re-drawn, when
+  weights move.
+* Between rebuilds the sparsifier is maintained **lazily**: inserted
+  edges ride in an exact overlay (sampling rate 1), deleted edges drop
+  their sampled slots, and reweighted edges scale their slots by
+  ``w_new/w_old`` (the lazy-rate update — the slot keeps its original
+  inclusion probability, only its value moves).  Every change adds its
+  absolute weight delta to a **drift** accumulator.
+* Once drift crosses ``drift_threshold × W_rebuild`` the next
+  materialization re-sparsifies from scratch through the same BSP path
+  — periodic amortized rebuilds, never per-update and never per-query.
+
+Every materialization returns ``(EdgeList, certificate)``; the
+certificate carries enough (sample size, total weight, rates provenance,
+drift, a sha256 of the materialized arrays) for a client to audit what
+its approximate answer was computed on.  Determinism: the rebuild seed
+is keyed by ``(dynamic seed, rebuild index)`` via the same
+:meth:`~repro.rng.streams.RngStreams.spawn` discipline as trial
+streams, so a replayed update stream re-sparsifies identically on
+either backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.core.sparsify import sparsify_weighted
+from repro.graph.edgelist import EdgeList
+from repro.graph.shm import plane_slices
+from repro.runtime.base import resolve_backend
+
+__all__ = ["CutSparsifier", "sparsify_program"]
+
+#: Salt separating re-sparsification seeds from trial/update/CC streams.
+_SPARSIFY_SALT = 5 << 16
+
+
+def sparsify_program(ctx, slices, s):
+    """SPMD program: one weighted sample of size ``s`` gathered at root."""
+    g = slices[ctx.rank]
+    sample = yield from sparsify_weighted(ctx, ctx.comm, g.u, g.v, g.w, s)
+    return sample
+
+
+class CutSparsifier:
+    """Lazy-rate cut sparsifier state (module docstring).
+
+    Owned by a :class:`~repro.dynamic.graph.DynamicGraph`; all
+    bookkeeping here is O(1) per update, and the only non-trivial work
+    (the BSP sampling dispatch) happens inside :meth:`materialize` when
+    there is no base yet or drift crossed the threshold.
+    """
+
+    def __init__(self, *, eps: float = 0.2, drift_threshold: float = 0.25,
+                 sample_scale: float = 1.0):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        self.eps = float(eps)
+        self.drift_threshold = float(drift_threshold)
+        self.sample_scale = float(sample_scale)
+
+        self.rebuilds = 0
+        self.rebuild_epoch: int | None = None
+        self.rebuild_fingerprint: str | None = None
+        self._base_u = self._base_v = None      # sampled slots (int64)
+        self._base_w = None                     # slot weights at rebuild
+        self._base_keys: list[tuple[int, int]] = []
+        self._base_key_set: set[tuple[int, int]] = set()
+        self._base_orig: dict[tuple[int, int], float] = {}  # w_e at rebuild
+        self.W_rebuild = 0.0
+        self.s = 0
+        self.drift = 0.0
+        self._inserted: dict[tuple[int, int], float] = {}
+        self._removed: set[tuple[int, int]] = set()
+        self._rescaled: dict[tuple[int, int], float] = {}   # key -> w_new
+
+    # -- lazy per-update bookkeeping (called by DynamicGraph) ----------------
+
+    def note_insert(self, key, w: float) -> None:
+        self._inserted[key] = self._inserted.get(key, 0.0) + float(w)
+        self.drift += float(w)
+
+    def note_delete(self, key, w_old: float) -> None:
+        if key in self._inserted:
+            del self._inserted[key]
+        elif key in self._base_key_set:
+            self._removed.add(key)
+            self._rescaled.pop(key, None)
+        self.drift += float(w_old)
+
+    def note_reweight(self, key, w_new: float, delta: float) -> None:
+        if key in self._inserted:
+            self._inserted[key] = float(w_new)
+        elif key in self._base_key_set and key not in self._removed:
+            self._rescaled[key] = float(w_new)
+        # edges that existed at rebuild but drew no slot have rate ~0;
+        # their weight motion is pure drift.
+        self.drift += abs(float(delta))
+
+    # -- rebuild policy ------------------------------------------------------
+
+    def sample_size(self, n: int, m: int) -> int:
+        """Target sample size ``~ 2 n ln n / eps^2``, clamped to [1, 3m].
+
+        The upper clamp is 3m rather than m: the sample is i.i.d. *with
+        replacement*, so allowing a few slots per edge on small graphs
+        keeps the sparsifier connected w.h.p. (at ``s = m`` roughly a
+        1/e fraction of edges would draw no slot at all); the estimator
+        stays unbiased because every slot carries ``W/s``.  On large
+        graphs the ``n log n`` target is the binding bound and the
+        sample is genuinely sparse.
+        """
+        if m == 0:
+            return 0
+        s = math.ceil(self.sample_scale * 2.0 * n
+                      * math.log(max(n, 2)) / (self.eps * self.eps))
+        return max(1, min(3 * m, s))
+
+    @property
+    def needs_rebuild(self) -> bool:
+        if self.rebuild_epoch is None:
+            return True
+        if self.W_rebuild <= 0:
+            return self.drift > 0
+        return self.drift > self.drift_threshold * self.W_rebuild
+
+    def sampling_rate(self, key, w: float) -> float:
+        """The lazy per-edge rate ``min(1, s·w/W)`` (1.0 for overlay edges)."""
+        if key in self._inserted:
+            return 1.0
+        if self.W_rebuild <= 0:
+            return 0.0
+        return min(1.0, self.s * float(w) / self.W_rebuild)
+
+    # -- rebuild + materialization -------------------------------------------
+
+    def rebuild(self, dyn, snap: EdgeList, fp: str) -> None:
+        """Re-sparsify from scratch through the BSP sampling pipeline."""
+        seed = dyn._streams.spawn(_SPARSIFY_SALT + self.rebuilds).seed
+        s = self.sample_size(snap.n, snap.m)
+        if s == 0:
+            su = sv = np.zeros(0, dtype=np.int64)
+            sw = np.zeros(0, dtype=np.float64)
+        else:
+            runtime = resolve_backend(dyn.backend)
+            result = runtime.run(
+                sparsify_program, dyn.p, seed=seed,
+                args=(plane_slices(snap, dyn.p), int(s)))
+            su, sv, sw = result.root_value
+        self._base_u = np.asarray(su, dtype=np.int64)
+        self._base_v = np.asarray(sv, dtype=np.int64)
+        self._base_w = np.asarray(sw, dtype=np.float64)
+        self._base_keys = list(zip(self._base_u.tolist(),
+                                   self._base_v.tolist()))
+        self._base_key_set = set(self._base_keys)
+        self._base_orig = {k: w for k, w in zip(self._base_keys,
+                                                self._base_w.tolist())}
+        self.W_rebuild = snap.total_weight()
+        self.s = int(s)
+        self.drift = 0.0
+        self._inserted.clear()
+        self._removed.clear()
+        self._rescaled.clear()
+        self.rebuilds += 1
+        self.rebuild_epoch = dyn.epoch
+        self.rebuild_fingerprint = fp
+        dyn.counters["resparsifications"] += 1
+        # Rebuilds are query-triggered, so the sparsifier base depends
+        # on *when* approx queries happened — owners that replay state
+        # (the serve session's write-ahead log) hook this to record the
+        # event and re-trigger it on resume, keeping replayed approx
+        # answers bit-identical.
+        hook = getattr(dyn, "on_resparsify", None)
+        if hook is not None:
+            hook(dyn.epoch)
+
+    def materialize(self, dyn, snap: EdgeList, fp: str):
+        """``(sparsifier graph, certificate)`` for the current epoch.
+
+        Rebuilds first when there is no base yet or drift crossed the
+        amortization threshold; otherwise assembles base slots (minus
+        removed, times lazy rescales) plus the exact overlay — O(s)
+        numpy work, no dispatch.
+        """
+        if self.needs_rebuild:
+            self.rebuild(dyn, snap, fp)
+        if self.s > 0:
+            keep = np.fromiter(
+                (k not in self._removed for k in self._base_keys),
+                dtype=bool, count=len(self._base_keys))
+            bu = self._base_u[keep]
+            bv = self._base_v[keep]
+            slot = np.full(int(keep.sum()), self.W_rebuild / self.s,
+                           dtype=np.float64)
+            if self._rescaled:
+                scale = np.fromiter(
+                    ((self._rescaled[k] / self._base_orig[k]
+                      if k in self._rescaled else 1.0)
+                     for k, live in zip(self._base_keys, keep.tolist())
+                     if live),
+                    dtype=np.float64, count=int(keep.sum()))
+                slot = slot * scale
+        else:
+            bu = bv = np.zeros(0, dtype=np.int64)
+            slot = np.zeros(0, dtype=np.float64)
+        overlay = sorted(self._inserted.items())
+        ou = np.fromiter((k[0] for k, _w in overlay), dtype=np.int64,
+                         count=len(overlay))
+        ov = np.fromiter((k[1] for k, _w in overlay), dtype=np.int64,
+                         count=len(overlay))
+        ow = np.fromiter((w for _k, w in overlay), dtype=np.float64,
+                         count=len(overlay))
+        u = np.concatenate([bu, ou])
+        v = np.concatenate([bv, ov])
+        w = np.concatenate([slot, ow])
+        sg = EdgeList(snap.n, u, v, w, canonical=False, validate=False)
+        sha = hashlib.sha256()
+        for arr in (u, v, w):
+            sha.update(np.ascontiguousarray(arr).tobytes())
+        certificate = {
+            "s": int(self.s),
+            "W_rebuild": float(self.W_rebuild),
+            "eps": self.eps,
+            "rebuild_epoch": self.rebuild_epoch,
+            "rebuild_fingerprint": self.rebuild_fingerprint,
+            "rebuilds": self.rebuilds,
+            "epoch": dyn.epoch,
+            "drift": float(self.drift),
+            "drift_threshold": self.drift_threshold,
+            "base_slots_live": int(bu.size),
+            "overlay_edges": int(ou.size),
+            "sparsifier_sha256": sha.hexdigest(),
+        }
+        return sg, certificate
+
+    # -- staleness -----------------------------------------------------------
+
+    def staleness(self) -> dict:
+        return {
+            "rebuilds": self.rebuilds,
+            "rebuild_epoch": self.rebuild_epoch,
+            "rebuild_fingerprint": self.rebuild_fingerprint,
+            "s": int(self.s),
+            "W_rebuild": float(self.W_rebuild),
+            "drift": float(self.drift),
+            "drift_threshold": self.drift_threshold,
+            "drift_ratio": (float(self.drift / self.W_rebuild)
+                            if self.W_rebuild > 0 else None),
+            "resparsify_pending": bool(self.needs_rebuild),
+            "overlay_edges": len(self._inserted),
+            "removed_base_edges": len(self._removed),
+            "rescaled_base_edges": len(self._rescaled),
+        }

@@ -35,8 +35,12 @@ from repro.graph.io import (
     read_snap,
     stream_edge_chunks,
 )
-from repro.graph.fingerprint import cached_fingerprint, content_fingerprint
-from repro.graph.shm import GraphHandle, plane_slices
+from repro.graph.fingerprint import (
+    cached_fingerprint,
+    content_fingerprint,
+    freeze_edges,
+)
+from repro.graph.shm import GraphHandle, bump_epoch, plane_slices
 
 __all__ = [
     "EdgeList",
@@ -63,6 +67,8 @@ __all__ = [
     "stream_edge_chunks",
     "content_fingerprint",
     "cached_fingerprint",
+    "freeze_edges",
     "GraphHandle",
+    "bump_epoch",
     "plane_slices",
 ]

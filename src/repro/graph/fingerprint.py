@@ -24,7 +24,26 @@ import weakref
 
 import numpy as np
 
-__all__ = ["content_fingerprint", "cached_fingerprint"]
+__all__ = ["content_fingerprint", "cached_fingerprint", "freeze_edges"]
+
+
+def freeze_edges(g) -> None:
+    """Make ``g``'s edge arrays read-only (best effort, idempotent).
+
+    The memo below — and every layer keyed off it (graph-plane segments,
+    the serve caches, dynamic-graph epochs) — relies on the contract that
+    edge arrays are never mutated in place.  Freezing turns a silent
+    contract violation into an immediate ``ValueError`` at the mutation
+    site: an in-place edit after a fingerprint was cached (or a segment
+    published) can no longer serve stale bits.  Arrays that do not own
+    their buffer are frozen as views; the rare non-freezable subclass is
+    skipped rather than rejected.
+    """
+    for arr in (g.u, g.v, g.w):
+        try:
+            arr.flags.writeable = False
+        except (AttributeError, ValueError):  # pragma: no cover - exotic arrays
+            pass
 
 
 def content_fingerprint(g) -> str:
@@ -46,22 +65,29 @@ def content_fingerprint(g) -> str:
 _MEMO: dict[tuple[int, int, int], tuple[tuple, str]] = {}
 
 
-def cached_fingerprint(g) -> str:
+def cached_fingerprint(g, *, freeze: bool = False) -> str:
     """:func:`content_fingerprint` memoized on array identity.
 
     Layers that fingerprint the *same* graph object per query (the serve
     path re-plans a scheduled run on every submit) skip the O(m) hash on
     repeats.  Safe under the codebase's contract that edge arrays are
     never mutated in place — the memo keys on object identity, not
-    content.
+    content.  ``freeze=True`` additionally enforces the contract via
+    :func:`freeze_edges`, so a later in-place edit raises instead of
+    silently aliasing the memoized fingerprint (the graph plane and the
+    dynamic-epoch machinery pass it for every array they publish).
     """
     key = (id(g.u), id(g.v), id(g.w))
     hit = _MEMO.get(key)
     if hit is not None:
         refs, fp = hit
         if all(r() is a for r, a in zip(refs, (g.u, g.v, g.w))):
+            if freeze:
+                freeze_edges(g)
             return fp
     fp = content_fingerprint(g)
+    if freeze:
+        freeze_edges(g)
     try:
         refs = tuple(weakref.ref(a) for a in (g.u, g.v, g.w))
     except TypeError:  # pragma: no cover - non-weakrefable array subclass

@@ -50,7 +50,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.fingerprint import cached_fingerprint
+from repro.graph.fingerprint import cached_fingerprint, freeze_edges
 
 __all__ = [
     "PLANE_MIN_BYTES",
@@ -62,6 +62,7 @@ __all__ = [
     "default_plane_enabled",
     "eligible",
     "publish",
+    "bump_epoch",
     "pin",
     "unpin",
     "unpublish",
@@ -222,9 +223,17 @@ def publish(g: EdgeList, *, fingerprint: str | None = None) -> GraphHandle:
     publish of the same content returns the existing handle without
     touching the arrays.  The caller should :func:`pin` the fingerprint
     for as long as it needs the segment alive.
+
+    The source arrays are frozen (:func:`~repro.graph.fingerprint.
+    freeze_edges`): the registry serves the original object back to the
+    publisher process keyed by this fingerprint, so an in-place edit
+    after publish would silently alias stale content — freezing turns
+    that into a ``ValueError`` at the mutation site.  Mutation happens
+    by *epoch*, not in place: see :func:`bump_epoch`.
     """
     global _ATEXIT_REGISTERED
     fp = fingerprint or cached_fingerprint(g)
+    freeze_edges(g)
     with _LOCK:
         entry = _REGISTRY.get(fp)
         if entry is not None:
@@ -257,6 +266,30 @@ def publish(g: EdgeList, *, fingerprint: str | None = None) -> GraphHandle:
             atexit.register(shutdown_plane)
             _ATEXIT_REGISTERED = True
         return handle
+
+
+def bump_epoch(old_fp: str | None, g_new: EdgeList, *,
+               fingerprint: str | None = None) -> GraphHandle:
+    """Advance a published graph identity to a new epoch.
+
+    The plane's mutation model: a graph never changes in place (publish
+    freezes its arrays) — instead an *epoch* closes and the identity
+    moves to new content.  ``bump_epoch`` is that transition in one
+    call: drop the epoch-holder's pin on ``old_fp`` and unlink its
+    ``rgpl*`` segment if that pin was the last one, then publish and pin
+    ``g_new``'s content, returning the fresh handle.  Idempotent per new
+    fingerprint like :func:`publish`; ``old_fp=None`` opens the first
+    epoch.  Callers (the dynamic-graph epoch machinery, the serve
+    daemon's session layer) hold exactly one pin per live epoch, so the
+    old segment disappears exactly when the epoch closes — never
+    earlier (an in-flight dispatch holds its own pin) and never later.
+    """
+    if old_fp is not None:
+        unpin(old_fp)
+        unpublish(old_fp)
+    handle = publish(g_new, fingerprint=fingerprint)
+    pin(handle.fingerprint)
+    return handle
 
 
 def pin(fp: str) -> None:

@@ -14,25 +14,31 @@ latency policy.  See ``docs/serve.md``.
 from repro.serve.cache import FingerprintMismatch, GraphCache
 from repro.serve.client import Client, ServeError, wait_server
 from repro.serve.daemon import Daemon, ServeConfig
+from repro.serve.dynamic import DynamicSession, DynamicSessionManager
 from repro.serve.jobs import Job, JobStore
 from repro.serve.protocol import (
     ALGORITHMS,
+    DYNAMIC_ALGORITHMS,
     JOB_STATES,
     PROTOCOL_VERSION,
     TERMINAL_STATES,
     ProtocolError,
+    dyn_result_doc,
     result_doc,
 )
 from repro.serve.queue import DeficitFairQueue
 
 __all__ = [
     "ALGORITHMS",
+    "DYNAMIC_ALGORITHMS",
     "JOB_STATES",
     "PROTOCOL_VERSION",
     "TERMINAL_STATES",
     "Client",
     "Daemon",
     "DeficitFairQueue",
+    "DynamicSession",
+    "DynamicSessionManager",
     "FingerprintMismatch",
     "GraphCache",
     "Job",
@@ -41,5 +47,6 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "wait_server",
+    "dyn_result_doc",
     "result_doc",
 ]

@@ -140,6 +140,56 @@ class Client:
     def cancel(self, job: str) -> dict:
         return self.request({"op": "cancel", "job": job})
 
+    # -- dynamic sessions ----------------------------------------------------
+
+    def dyn_open(self, path: str, *, seed: int = 0, p: int | None = None,
+                 fingerprint: str | None = None, **kwargs) -> str:
+        """Open a streaming session on a graph file; returns the session id."""
+        doc = {"op": "dyn_open", "path": path, "seed": int(seed)}
+        if p is not None:
+            doc["p"] = int(p)
+        if fingerprint is not None:
+            doc["fingerprint"] = fingerprint
+        doc.update(kwargs)
+        return self.request(doc)["session"]
+
+    def dyn_update(self, session: str, ops: list) -> dict:
+        """Apply one update batch (closing an epoch); returns staleness."""
+        return self.request({"op": "dyn_update", "session": session,
+                             "ops": ops})
+
+    def dyn_staleness(self, session: str) -> dict:
+        return self.request({"op": "dyn_staleness", "session": session})
+
+    def dyn_query(self, session: str, query: str, *, mode: str = "exact",
+                  if_stale: str = "reject",
+                  priority: float | None = None) -> str:
+        """Submit a components/cut query on the session's current epoch."""
+        return self.request({
+            "op": "dyn_query", "session": session, "query": query,
+            "mode": mode, "if_stale": if_stale, "client": self.name,
+            "priority": self.priority if priority is None else priority,
+        })["job"]
+
+    def dyn_components(self, session: str, *, if_stale: str = "reject",
+                       timeout: float | None = None) -> dict:
+        """dyn_query('components') + blocking result in one call."""
+        return self.result(self.dyn_query(session, "components",
+                                          if_stale=if_stale),
+                           timeout=timeout)
+
+    def dyn_cut(self, session: str, *, mode: str = "exact",
+                if_stale: str = "reject",
+                timeout: float | None = None) -> dict:
+        """dyn_query('cut') + blocking result in one call."""
+        return self.result(self.dyn_query(session, "cut", mode=mode,
+                                          if_stale=if_stale),
+                           timeout=timeout)
+
+    def dyn_close(self, session: str, *, discard: bool = True) -> dict:
+        return self.request({"op": "dyn_close", "session": session,
+                             "discard": discard})
+
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 

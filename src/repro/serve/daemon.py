@@ -41,12 +41,15 @@ from repro.harness.experiment import run_algorithm
 from repro.runtime.base import Backend, resolve_backend
 from repro.sched.scheduler import TrialRun, TrialScheduler
 from repro.serve.cache import FingerprintMismatch, GraphCache
+from repro.serve.dynamic import DynamicSessionManager
 from repro.serve.jobs import Job, JobStore
 from repro.serve.protocol import (
     ALGORITHMS,
+    DYNAMIC_ALGORITHMS,
     PROTOCOL_VERSION,
     ProtocolError,
     decode_line,
+    dyn_result_doc,
     encode_line,
     error_doc,
     ok_doc,
@@ -131,6 +134,14 @@ class Daemon:
         self._conns: set[socket.socket] = set()
         self.address: str | None = None
         self.started_at = time.time()
+        # Dynamic sessions must exist before job resume: a persisted
+        # dyn_* job references its session, which replays its update
+        # log here (bit-identical by determinism of the update stream).
+        self.dynamic = DynamicSessionManager(config.state_dir)
+        self.dynamic.resume_all(
+            lambda path, fp: self.cache.load(path, expected_fp=fp)[0],
+            backend=self.backend, plane=self.cache.plane,
+            plan_cache=self.cache)
         self._resume_persisted_jobs()
 
     # -- restart resume ------------------------------------------------------
@@ -237,6 +248,7 @@ class Daemon:
         for run in list(self._runs.values()):
             run.release()
         self._runs.clear()
+        self.dynamic.close_all()   # epoch pins (session state stays on disk)
         self.cache.close()
         self.backend.close()
         addr = self.address
@@ -373,7 +385,8 @@ class Daemon:
         if job.state == "done":
             return ok_doc(job=job.id, state=job.state, result=job.result)
         if job.state == "failed":
-            return error_doc("JobFailed", job.error or "job failed")
+            return error_doc(job.error_type or "JobFailed",
+                             job.error or "job failed")
         if job.state == "cancelled":
             return error_doc("JobCancelled", f"job {job.id} was cancelled")
         return ok_doc(job=job.id, state=job.state, result=None)
@@ -406,7 +419,97 @@ class Daemon:
             cache=self.cache.stats(),
             queue=self.queue.stats(),
             graph_plane=plane_stats(),
+            dynamic=self.dynamic.stats(),
         )
+
+    # -- dynamic sessions ----------------------------------------------------
+
+    def _op_dyn_open(self, req: dict) -> dict:
+        path = req.get("path")
+        if not isinstance(path, str):
+            raise ProtocolError("dyn_open needs a graph file 'path'")
+        try:
+            g, fp = self.cache.load(path, expected_fp=req.get("fingerprint"))
+        except FingerprintMismatch as exc:
+            return error_doc("FingerprintMismatch", str(exc))
+        except OSError as exc:
+            return error_doc("GraphUnreadable", str(exc))
+        kwargs = {k: req[k] for k in ("reconnect_budget", "drift_threshold",
+                                      "eps", "sample_scale", "success_prob",
+                                      "trial_scale") if k in req}
+        session = self.dynamic.open(
+            g, path=path, fingerprint=fp,
+            seed=int(req.get("seed", 0)), p=int(req.get("p", self.config.p)),
+            backend=self.backend, plane=self.cache.plane,
+            plan_cache=self.cache, **kwargs)
+        return ok_doc(session=session.id, epoch=0, fingerprint=fp)
+
+    def _get_session(self, req: dict):
+        sid = req.get("session")
+        session = self.dynamic.get(sid)
+        if session is None:
+            raise ProtocolError(f"unknown dynamic session {sid!r}")
+        return session
+
+    def _op_dyn_update(self, req: dict) -> dict:
+        session = self._get_session(req)
+        ops = req.get("ops")
+        if not isinstance(ops, list):
+            raise ProtocolError("dyn_update needs a list of 'ops'")
+        try:
+            staleness = session.update(ops)
+        except (KeyError, ValueError) as exc:
+            return error_doc("BadUpdate", str(exc))
+        return ok_doc(session=session.id, **staleness)
+
+    def _op_dyn_staleness(self, req: dict) -> dict:
+        session = self._get_session(req)
+        return ok_doc(session=session.id, **session.dyn.staleness())
+
+    def _op_dyn_query(self, req: dict) -> dict:
+        session = self._get_session(req)
+        query = req.get("query")
+        if query not in ("components", "cut"):
+            raise ProtocolError(
+                f"dyn_query 'query' must be 'components' or 'cut', "
+                f"got {query!r}")
+        mode = req.get("mode", "exact")
+        if mode not in ("exact", "approx"):
+            raise ProtocolError(
+                f"dyn_query 'mode' must be 'exact' or 'approx', got {mode!r}")
+        if_stale = req.get("if_stale", "reject")
+        if if_stale not in ("reject", "requeue"):
+            raise ProtocolError(
+                f"'if_stale' must be 'reject' or 'requeue', got {if_stale!r}")
+        # The job pins the session's epoch at submit; the executor
+        # compares it against the live epoch at dispatch.  The stored
+        # fingerprint pins the session's *base* graph — the epoch
+        # integer is the version pin (forcing the epoch's content
+        # fingerprint here would cost an O(m) snapshot per submit).
+        job = Job(
+            id=self.store.new_id(),
+            client=str(req.get("client", "anon")),
+            algorithm=("dyn_components" if query == "components"
+                       else "dyn_cut"),
+            path=session.doc["path"],
+            fingerprint=session.doc["fingerprint"],
+            seed=session.dyn.seed, p=session.dyn.p,
+            priority=float(req.get("priority", 1.0)),
+            kwargs={"session": session.id, "epoch": session.dyn.epoch,
+                    "mode": mode, "if_stale": if_stale},
+        )
+        with self._lock:
+            self.jobs[job.id] = job
+        self.store.save(job)
+        self._enqueue(job)
+        return ok_doc(job=job.id, session=session.id,
+                      epoch=session.dyn.epoch)
+
+    def _op_dyn_close(self, req: dict) -> dict:
+        sid = req.get("session")
+        closed = self.dynamic.close(sid, discard=bool(req.get("discard",
+                                                              True)))
+        return ok_doc(session=sid, closed=closed)
 
     # -- executor ------------------------------------------------------------
 
@@ -454,7 +557,9 @@ class Daemon:
             if job.state == "cancelled":
                 return
             job.state = "running"
-        if (job.algorithm == "square_root"
+        if job.algorithm in DYNAMIC_ALGORITHMS:
+            self._run_dynamic(job)
+        elif (job.algorithm == "square_root"
                 and job.kwargs.get("variant", "default") == "default"
                 and "trials" not in job.kwargs
                 and not job.kwargs.get("preprocess")):
@@ -514,6 +619,49 @@ class Daemon:
         }
         self._finish_job(job, result=doc)
 
+    def _run_dynamic(self, job: Job) -> None:
+        """One dynamic-session query on the executor thread.
+
+        The job pinned the session's epoch at submit.  If updates
+        advanced the epoch before this dispatch, the pinned answer no
+        longer describes the live graph: ``if_stale="reject"`` fails the
+        job with the typed ``StaleEpoch`` error, ``"requeue"`` re-pins
+        it to the latest epoch (the result doc then carries
+        ``repinned_from_epoch`` so the client knows what it got).
+        """
+        session = self.dynamic.get(job.kwargs.get("session"))
+        if session is None:
+            self._finish_job(
+                job, error=f"dynamic session {job.kwargs.get('session')!r} "
+                           f"is gone", error_type="SessionClosed")
+            return
+        pinned = int(job.kwargs.get("epoch", 0))
+        repinned_from = None
+        with session.lock:
+            live = session.dyn.epoch
+            if live != pinned:
+                if job.kwargs.get("if_stale", "reject") == "reject":
+                    self._finish_job(
+                        job,
+                        error=(f"epoch advanced {pinned} -> {live} between "
+                               f"submit and dispatch"),
+                        error_type="StaleEpoch")
+                    return
+                repinned_from = pinned
+                job.kwargs["epoch"] = live
+                self.store.save(job)
+            if job.algorithm == "dyn_components":
+                result = session.dyn.query_components()
+            else:
+                result = session.dyn.query_cut(
+                    mode=job.kwargs.get("mode", "exact"))
+        doc = dyn_result_doc(result)
+        doc["session"] = session.id
+        if repinned_from is not None:
+            doc["repinned_from_epoch"] = repinned_from
+        job.waves_total = job.waves_done = 1
+        self._finish_job(job, result=doc)
+
     def _run_single_shot(self, job: Job) -> None:
         """cc / approx / 2-out / fixed-trials jobs: one dispatch, one slice."""
         g = self._graph_for(job)
@@ -558,7 +706,8 @@ class Daemon:
             trial_scale=trial_scale, backend=self.backend, plan=plan)
 
     def _finish_job(self, job: Job, result: dict | None = None,
-                    error: str | None = None) -> None:
+                    error: str | None = None,
+                    error_type: str | None = None) -> None:
         with self._cv:
             if job.state == "cancelled":
                 self._cv.notify_all()
@@ -566,6 +715,7 @@ class Daemon:
                 job.state = "failed" if error is not None else "done"
                 job.result = result
                 job.error = error
+                job.error_type = error_type
                 job.finished_at = time.time()
                 self._cv.notify_all()
         self.store.save(job)

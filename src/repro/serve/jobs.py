@@ -26,7 +26,12 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.serve.protocol import ALGORITHMS, JOB_STATES, TERMINAL_STATES
+from repro.serve.protocol import (
+    ALGORITHMS,
+    DYNAMIC_ALGORITHMS,
+    JOB_STATES,
+    TERMINAL_STATES,
+)
 
 __all__ = ["Job", "JobStore"]
 
@@ -46,6 +51,10 @@ class Job:
     kwargs: dict = field(default_factory=dict)  # algorithm extras
     state: str = "queued"
     error: str | None = None
+    #: Typed error tag surfaced to the client instead of the generic
+    #: ``JobFailed`` (e.g. ``StaleEpoch`` when the pinned graph epoch
+    #: advanced between submit and dispatch).
+    error_type: str | None = None
     result: dict | None = None
     #: Waves completed / planned (square_root progress; 0/1 single-shots).
     waves_done: int = 0
@@ -54,10 +63,10 @@ class Job:
     finished_at: float | None = None
 
     def __post_init__(self):
-        if self.algorithm not in ALGORITHMS:
+        if self.algorithm not in ALGORITHMS + DYNAMIC_ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; "
-                f"expected one of {ALGORITHMS}"
+                f"expected one of {ALGORITHMS + DYNAMIC_ALGORITHMS}"
             )
         if self.state not in JOB_STATES:
             raise ValueError(f"bad job state {self.state!r}")

@@ -29,6 +29,33 @@ Ops:
 ``ping`` / ``shutdown``
     liveness probe / graceful stop.
 
+Dynamic-graph sessions (``docs/dynamic.md``):
+
+``dyn_open``
+    ``{"op": "dyn_open", "path": <graph file>, "seed": int, "p": int}``
+    → ``{"ok": true, "session": <id>, "epoch": 0, "fingerprint": ...}``.
+    Opens a streaming session on the file's graph (epoch 0).
+``dyn_update``
+    ``{"op": "dyn_update", "session": <id>, "ops": [["insert", u, v, w],
+    ["delete", u, v], ["reweight", u, v, w], ...]}`` → the new epoch's
+    staleness document.  Applied inline (no backend work); each batch
+    closes an epoch and is write-ahead logged for restart replay.
+``dyn_query``
+    ``{"op": "dyn_query", "session": <id>, "query": "components" |
+    "cut", "mode": "exact" | "approx", "if_stale": "reject" |
+    "requeue"}`` → ``{"ok": true, "job": <id>}``.  Queries run through
+    the job queue (the backend is single-tenant); the job pins the
+    session's epoch at submit.  If the epoch advanced before dispatch,
+    ``"reject"`` (default) fails the job with the typed ``StaleEpoch``
+    error; ``"requeue"`` re-pins it to the latest epoch and the result
+    reports ``repinned_from_epoch``.
+``dyn_staleness``
+    ``{"op": "dyn_staleness", "session": <id>}`` → epoch, fingerprint,
+    sparsifier drift/rebuild state, maintenance counters.
+``dyn_close``
+    ``{"op": "dyn_close", "session": <id>}`` → drops the session, its
+    plane pin and (by default) its persisted stream.
+
 Result documents are JSON-safe summaries, not pickles: ``parallel_cc``
 reports ``n_components`` and a sha256 of the label array (plus the
 labels themselves when small); ``square_root`` reports the cut ``value``,
@@ -50,6 +77,7 @@ import numpy as np
 __all__ = [
     "PROTOCOL_VERSION",
     "ALGORITHMS",
+    "DYNAMIC_ALGORITHMS",
     "JOB_STATES",
     "TERMINAL_STATES",
     "ProtocolError",
@@ -58,13 +86,20 @@ __all__ = [
     "error_doc",
     "ok_doc",
     "result_doc",
+    "dyn_result_doc",
 ]
 
-#: Bumped on incompatible wire changes; ping reports it.
-PROTOCOL_VERSION = 1
+#: Bumped on incompatible wire changes; ping reports it.  2 added the
+#: dynamic-session verbs (dyn_open/dyn_update/dyn_query/dyn_staleness/
+#: dyn_close) — a pure extension, so 1-era clients keep working.
+PROTOCOL_VERSION = 2
 
 #: Algorithm tags accepted by ``submit`` (the artifact executables).
 ALGORITHMS = ("parallel_cc", "approx_cut", "square_root")
+
+#: Internal job tags for dynamic-session queries (created by
+#: ``dyn_query``, never by ``submit``).
+DYNAMIC_ALGORITHMS = ("dyn_components", "dyn_cut")
 
 #: Job lifecycle states.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -147,3 +182,41 @@ def result_doc(algorithm: str, result: Any) -> dict:
             "variant": result.variant,
         }
     raise ProtocolError(f"unknown algorithm {algorithm!r}")
+
+
+def dyn_result_doc(result) -> dict:
+    """JSON-safe summary of a dynamic query result.
+
+    Accepts a :class:`~repro.dynamic.graph.DynamicCCResult` or
+    :class:`~repro.dynamic.graph.DynamicCutResult`; the epoch and
+    fingerprint ride along so clients can verify which graph version
+    the answer certifies.
+    """
+    from repro.dynamic.graph import DynamicCCResult
+    from repro.sched.ledger import encode_side
+
+    if isinstance(result, DynamicCCResult):
+        labels = np.asarray(result.labels)
+        doc = {
+            "algorithm": "dyn_components",
+            "epoch": int(result.epoch),
+            "fingerprint": result.fingerprint,
+            "n_components": int(result.n_components),
+            "labels_sha256": _labels_sha(labels),
+            "via": result.via,
+        }
+        if labels.size <= _MAX_INLINE_LABELS:
+            doc["labels"] = [int(x) for x in labels]
+        return doc
+    return {
+        "algorithm": "dyn_cut",
+        "epoch": int(result.epoch),
+        "fingerprint": result.fingerprint,
+        "mode": result.mode,
+        "value": float(result.value),
+        "witness_value": (None if result.witness_value is None
+                          else float(result.witness_value)),
+        "side": (None if result.side is None
+                 else encode_side(np.asarray(result.side, dtype=bool))),
+        "certificate": result.certificate,
+    }

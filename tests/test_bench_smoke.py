@@ -75,6 +75,36 @@ def test_bench_fusion_smoke_small_scale():
     assert a["reduction"] > 1.0 and c["ops_reduction"] > 1.0
 
 
+def test_bench_dynamic_smoke_small_scale():
+    """The streaming benchmark end-to-end at reduced scale: every
+    deterministic bar (per-epoch label equality, warm/cold cut replay,
+    served-equals-local) must hold; the 3x speedup floor itself is
+    perf-gated, not asserted here."""
+    from benchmarks.bench_dynamic import run_benchmarks as run_dynamic
+
+    r = run_dynamic(scale=0.25, seed=1)
+    assert r["results_match"]
+    assert r["cc"]["labels_match_every_epoch"]
+    assert r["cut"]["replay_match"]
+    assert r["speedup"] > 0
+    assert r["serve"]["final_epoch"] == r["cc"]["epochs"]
+
+
+@pytest.mark.perf
+def test_dynamic_speedup_meets_floor_full_scale():
+    """Acceptance bar: incremental CC query >= 3x faster than full
+    recompute on the churn workload, with bit-identical answers."""
+    from benchmarks.bench_dynamic import (
+        DYNAMIC_SPEEDUP_FLOOR,
+        run_benchmarks as run_dynamic,
+    )
+
+    r = run_dynamic(scale=1.0, seed=0)
+    assert r["results_match"]
+    assert r["speedup_ok"], r["speedup"]
+    assert r["speedup"] >= DYNAMIC_SPEEDUP_FLOOR
+
+
 @pytest.mark.perf
 def test_fusion_reduction_meets_floor_full_scale():
     """Acceptance bar: >= 1.3x predicted-time reduction from fusion +

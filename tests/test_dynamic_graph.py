@@ -1,0 +1,379 @@
+"""repro.dynamic: differential fuzz, determinism, sparsifier amortization.
+
+The load-bearing property is the determinism contract from
+``docs/dynamic.md``:
+
+* ``query_components()`` and exact ``query_cut()`` are **history
+  independent** — bit-identical to a from-scratch computation on the
+  same epoch's snapshot, no matter which queries happened earlier and
+  no matter which of incremental / forest / cc_kernel paths answered;
+* approx ``query_cut()`` is **replay deterministic** — a pure function
+  of (initial graph, update+query history, seed, p), because sparsifier
+  rebuilds are query-triggered.
+
+Everything here fuzzes those claims against the trusted kernels on the
+epoch snapshot, across both execution backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    DynamicGraph,
+    canonical_roots,
+    update_stream,
+)
+from repro.graph import EdgeList, erdos_renyi, two_cliques_bridge
+from repro.kernels import cc_labels
+from repro.rng import philox_stream
+
+from .conftest import require_mp
+
+
+def churn(n=80, m=240, seed=0, batches=6, batch_size=12, **kw):
+    g = erdos_renyi(n, m, philox_stream(seed + 17), weighted=True)
+    stream = list(update_stream(g, seed=seed + 1, batches=batches,
+                                batch_size=batch_size, **kw))
+    return g, stream
+
+
+def reference_labels(snap: EdgeList) -> tuple[np.ndarray, int]:
+    """Trusted from-scratch labels in the canonical cc_labels form."""
+    labels, count = cc_labels(snap.n, snap.u, snap.v)
+    return labels, count
+
+
+# -- canonical_roots ----------------------------------------------------------
+
+
+def test_canonical_roots_projects_any_dense_labelling():
+    # two classes {0,2,4} and {1,3}; ids assigned in either order must
+    # project onto the same min-vertex root array
+    for labs in ([0, 1, 0, 1, 0], [1, 0, 1, 0, 1]):
+        roots = canonical_roots(np.array(labs))
+        assert roots.tolist() == [0, 1, 0, 1, 0]
+
+
+def test_canonical_roots_matches_cc_labels_on_random_graphs():
+    for seed in range(5):
+        g = erdos_renyi(60, 90, philox_stream(seed))
+        labels, count = cc_labels(g.n, g.u, g.v)
+        roots = canonical_roots(labels)
+        uniq, dense = np.unique(roots, return_inverse=True)
+        assert uniq.size == count
+        assert np.array_equal(dense, labels)
+        # roots really are the minimum member of each class
+        for r in uniq.tolist():
+            members = np.flatnonzero(roots == r)
+            assert members.min() == r
+
+
+# -- update semantics ---------------------------------------------------------
+
+
+def test_update_validation():
+    g = EdgeList.from_pairs(4, [(0, 1), (1, 2)])
+    dyn = DynamicGraph(g, p=2, seed=0)
+    with pytest.raises(ValueError):
+        dyn.update_edges([("frobnicate", 0, 1)])
+    with pytest.raises(ValueError):
+        dyn.update_edges([("insert", 0, 0, 1.0)])       # self-loop
+    with pytest.raises(ValueError):
+        dyn.update_edges([("insert", 0, 9, 1.0)])       # out of range
+    with pytest.raises(ValueError):
+        dyn.update_edges([("insert", 0, 3, -1.0)])      # bad weight
+    with pytest.raises(KeyError):
+        dyn.update_edges([("delete", 0, 3)])            # missing edge
+    with pytest.raises(KeyError):
+        dyn.update_edges([("reweight", 0, 3, 2.0)])     # missing edge
+
+
+def test_insert_existing_edge_combines_weights():
+    g = EdgeList.from_pairs(3, [(0, 1)])
+    dyn = DynamicGraph(g, p=2, seed=0)
+    dyn.update_edges([("insert", 1, 0, 2.5)])   # reversed orientation too
+    snap = dyn.snapshot()
+    assert snap.m == 1
+    assert snap.w[0] == pytest.approx(3.5)
+
+
+def test_epoch_closes_per_batch_and_snapshot_is_frozen():
+    g = EdgeList.from_pairs(4, [(0, 1), (2, 3)])
+    dyn = DynamicGraph(g, p=2, seed=0)
+    assert dyn.epoch == 0
+    fp0 = dyn.fingerprint()
+    st = dyn.update_edges([("insert", 1, 2, 1.0), ("delete", 2, 3)])
+    assert dyn.epoch == 1 and st["epoch"] == 1
+    snap = dyn.snapshot()
+    for a in (snap.u, snap.v, snap.w):
+        assert not a.flags.writeable
+    assert dyn.fingerprint() != fp0
+    # canonical order: snapshot ignores arrival order of updates
+    keys = list(zip(snap.u.tolist(), snap.v.tolist()))
+    assert keys == sorted(keys)
+
+
+def test_staleness_fingerprint_is_lazy():
+    g, stream = churn(batches=2)
+    dyn = DynamicGraph(g, p=2, seed=0)
+    st = dyn.update_edges(stream[0])
+    # no query materialized the snapshot yet: updates stay O(alpha)
+    assert st["fingerprint"] is None
+    assert dyn.query_components().fingerprint is None
+    fp = dyn.fingerprint()                      # forces the snapshot
+    assert dyn.staleness()["fingerprint"] == fp
+
+
+# -- differential fuzz: components --------------------------------------------
+
+
+def test_components_match_scratch_every_epoch():
+    g, stream = churn(n=120, m=360, seed=3, batches=10, batch_size=16)
+    dyn = DynamicGraph(g, p=2, seed=3)
+    vias = set()
+    for ops in stream:
+        dyn.update_edges(ops)
+        cc = dyn.query_components()
+        vias.add(cc.via)
+        ref, count = reference_labels(dyn.snapshot())
+        assert cc.n_components == count
+        assert np.array_equal(cc.labels, ref)
+        assert cc.epoch == dyn.epoch
+    # the workload must actually exercise the incremental machinery
+    assert dyn.counters["tree_deletes"] > 0
+    assert "incremental" in vias
+
+
+def test_components_heavy_delete_split_and_reconnect():
+    # delete-heavy stream on a sparse graph: splits are guaranteed
+    g, stream = churn(n=100, m=140, seed=5, batches=8, batch_size=12,
+                      insert_frac=0.1, delete_frac=0.7)
+    dyn = DynamicGraph(g, p=2, seed=5)
+    for ops in stream:
+        dyn.update_edges(ops)
+        cc = dyn.query_components()
+        ref, count = reference_labels(dyn.snapshot())
+        assert cc.n_components == count
+        assert np.array_equal(cc.labels, ref)
+    assert dyn.counters["splits"] > 0
+    assert dyn.counters["reconnects"] > 0
+
+
+def test_tiny_reconnect_budget_falls_back_to_cc_kernel():
+    g, stream = churn(n=100, m=140, seed=5, batches=6, batch_size=12,
+                      insert_frac=0.1, delete_frac=0.7)
+    dyn = DynamicGraph(g, p=2, seed=5, reconnect_budget=2)
+    vias = set()
+    for ops in stream:
+        dyn.update_edges(ops)
+        cc = dyn.query_components()
+        vias.add(cc.via)
+        ref, _count = reference_labels(dyn.snapshot())
+        assert np.array_equal(cc.labels, ref)
+    assert dyn.counters["cc_fallbacks"] > 0
+    assert "cc_kernel" in vias
+
+
+def test_connected_and_component_of_agree_with_labels():
+    g, stream = churn(seed=7)
+    dyn = DynamicGraph(g, p=2, seed=7)
+    for ops in stream:
+        dyn.update_edges(ops)
+    cc = dyn.query_components()
+    roots = canonical_roots(cc.labels)
+    for x in range(0, g.n, 7):
+        assert dyn.component_of(x) == roots[x]
+        assert dyn.connected(x, (x * 3 + 1) % g.n) == \
+            (cc.labels[x] == cc.labels[(x * 3 + 1) % g.n])
+
+
+def test_components_backend_parity(backend):
+    """Fallback answers are bit-identical under sim and mp."""
+    g, stream = churn(n=90, m=130, seed=9, batches=5, batch_size=12,
+                      insert_frac=0.1, delete_frac=0.7)
+    dyn = DynamicGraph(g, p=2, seed=9, backend=backend,
+                       reconnect_budget=2)   # force cc_kernel dispatches
+    shas = []
+    for ops in stream:
+        dyn.update_edges(ops)
+        cc = dyn.query_components()
+        ref, _count = reference_labels(dyn.snapshot())
+        assert np.array_equal(cc.labels, ref)
+        shas.append(cc.labels.tobytes())
+    assert dyn.counters["cc_fallbacks"] > 0
+    # the per-epoch byte strings are a pure function of the stream: the
+    # sim run of this same test is the cross-backend witness
+    assert len(shas) == len(stream)
+
+
+# -- cut queries --------------------------------------------------------------
+
+
+def test_exact_cut_matches_scratch_two_out():
+    from repro.core.two_out import two_out_minimum_cut
+    from repro.dynamic.graph import _CUT_SALT
+
+    g, stream = churn(n=48, m=300, seed=11, batches=3, batch_size=8)
+    dyn = DynamicGraph(g, p=2, seed=11, trial_scale=0.2)
+    for ops in stream:
+        dyn.update_edges(ops)
+    res = dyn.query_cut(mode="exact")
+    snap = dyn.snapshot()
+    seed = dyn._streams.spawn(_CUT_SALT).seed
+    ref = two_out_minimum_cut(snap, 2, seed=seed, trial_scale=0.2,
+                              backend="sim")
+    assert res.value == ref.value
+    assert res.witness_value == res.value
+    assert res.fingerprint == dyn.fingerprint()
+    # repeat query at the same epoch reuses the cached plan
+    again = dyn.query_cut(mode="exact")
+    assert again.value == res.value
+    assert again.certificate["plan_cached"]
+
+
+def test_exact_cut_history_independence():
+    """Interleaved approx queries never move the exact answer."""
+    g, stream = churn(n=48, m=300, seed=13, batches=4, batch_size=8)
+    plain = DynamicGraph(g, p=2, seed=13, trial_scale=0.2)
+    noisy = DynamicGraph(g, p=2, seed=13, trial_scale=0.2,
+                         drift_threshold=0.05)
+    for ops in stream:
+        plain.update_edges(ops)
+        noisy.update_edges(ops)
+        noisy.query_cut(mode="approx")    # extra history on one side
+    assert noisy.counters["resparsifications"] >= 1
+    a = plain.query_cut(mode="exact")
+    b = noisy.query_cut(mode="exact")
+    assert a.value == b.value
+    assert a.fingerprint == b.fingerprint
+
+
+def test_approx_cut_replay_determinism_with_query_schedule():
+    """Approx answers replay bit-identically under the same history."""
+    g, stream = churn(n=60, m=240, seed=15, batches=6, batch_size=10)
+
+    def run():
+        dyn = DynamicGraph(g, p=2, seed=15, drift_threshold=0.05)
+        shas = []
+        for i, ops in enumerate(stream):
+            dyn.update_edges(ops)
+            if i % 2 == 1:
+                r = dyn.query_cut(mode="approx")
+                shas.append((r.value,
+                             r.certificate["sparsifier_sha256"]))
+        return shas, dyn.counters["resparsifications"]
+
+    a, ra = run()
+    b, rb = run()
+    assert ra == rb and ra >= 1
+    assert a == b
+
+
+def test_approx_cut_witness_is_exact_on_true_graph():
+    g = two_cliques_bridge(10, bridge_weight=2.0)
+    dyn = DynamicGraph(g, p=2, seed=0)
+    res = dyn.query_cut(mode="approx")
+    assert res.side is not None
+    assert res.witness_value == pytest.approx(
+        dyn.snapshot().cut_value(res.side))
+    cert = res.certificate
+    assert cert["s"] > 0 and cert["rebuilds"] == 1
+    assert cert["sparsifier_sha256"]
+
+
+def test_disconnected_epoch_answers_zero_cut():
+    g = EdgeList.from_pairs(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+    dyn = DynamicGraph(g, p=2, seed=0)
+    for mode in ("exact", "approx"):
+        res = dyn.query_cut(mode=mode)
+        assert res.value == 0.0 and res.witness_value == 0.0
+        assert res.certificate["disconnected"]
+        assert dyn.snapshot().cut_value(res.side) == 0.0
+
+
+def test_cut_backend_parity(backend):
+    g, stream = churn(n=40, m=200, seed=17, batches=2, batch_size=8)
+    dyn = DynamicGraph(g, p=2, seed=17, backend=backend, trial_scale=0.2,
+                       drift_threshold=0.05)
+    for ops in stream:
+        dyn.update_edges(ops)
+    exact = dyn.query_cut(mode="exact")
+    approx = dyn.query_cut(mode="approx")
+    # sim reference: the full contract is value equality across backends
+    ref = DynamicGraph(g, p=2, seed=17, backend="sim", trial_scale=0.2,
+                       drift_threshold=0.05)
+    for ops in stream:
+        ref.update_edges(ops)
+    assert exact.value == ref.query_cut(mode="exact").value
+    r_approx = ref.query_cut(mode="approx")
+    assert approx.value == r_approx.value
+    assert (approx.certificate["sparsifier_sha256"]
+            == r_approx.certificate["sparsifier_sha256"])
+
+
+# -- sparsifier amortization --------------------------------------------------
+
+
+def test_sparsifier_drift_triggers_rebuild_only_past_threshold():
+    g, stream = churn(n=60, m=240, seed=19, batches=6, batch_size=10)
+    dyn = DynamicGraph(g, p=2, seed=19, drift_threshold=1e9)
+    dyn.query_cut(mode="approx")                # initial rebuild
+    assert dyn.counters["resparsifications"] == 1
+    for ops in stream:
+        dyn.update_edges(ops)
+        dyn.query_cut(mode="approx")
+    # astronomically high threshold: the initial base is never replaced
+    assert dyn.counters["resparsifications"] == 1
+    st = dyn.sparsifier.staleness()
+    assert st["drift"] > 0 and not st["resparsify_pending"]
+
+    eager = DynamicGraph(g, p=2, seed=19, drift_threshold=1e-6)
+    eager.query_cut(mode="approx")
+    for ops in stream:
+        eager.update_edges(ops)
+        eager.query_cut(mode="approx")
+    # tiny threshold: every queried epoch re-sparsifies
+    assert eager.counters["resparsifications"] == len(stream) + 1
+
+
+def test_sparsifier_overlay_tracks_updates_between_rebuilds():
+    g = two_cliques_bridge(8)
+    dyn = DynamicGraph(g, p=2, seed=0, drift_threshold=1e9)
+    dyn.query_cut(mode="approx")
+    dyn.update_edges([("insert", 0, 12, 1.5)])
+    st = dyn.sparsifier.staleness()
+    assert st["overlay_edges"] == 1
+    r = dyn.query_cut(mode="approx")
+    assert r.certificate["overlay_edges"] == 1
+    assert r.certificate["rebuilds"] == 1       # overlay, not a rebuild
+
+
+def test_sparsifier_certificate_estimates_cuts():
+    # the sparsifier estimate of the bridge cut must be within a few
+    # multiples on this easy instance (it is eps-accurate w.h.p. at the
+    # blessed sample size; this is a sanity bound, not the proof)
+    g = two_cliques_bridge(12, bridge_weight=4.0)
+    dyn = DynamicGraph(g, p=2, seed=1)
+    res = dyn.query_cut(mode="approx")
+    assert res.witness_value is not None
+    assert res.witness_value <= 6.0 * max(res.value, 4.0)
+
+
+# -- plane + plan cache integration -------------------------------------------
+
+
+def test_plan_cache_invalidates_exactly_at_epoch_close():
+    from repro.serve.cache import GraphCache
+
+    g, stream = churn(n=40, m=200, seed=21, batches=2, batch_size=6)
+    cache = GraphCache(plane=False)
+    dyn = DynamicGraph(g, p=2, seed=21, trial_scale=0.2, plan_cache=cache)
+    dyn.query_cut(mode="exact")
+    dyn.query_cut(mode="exact")
+    st = cache.stats()["derivatives"]
+    assert st["entries"] == 1 and st["hits"] == 1
+    dyn.update_edges(stream[0])
+    dyn.query_cut(mode="exact")                 # new epoch: new plan key
+    st = cache.stats()["derivatives"]
+    assert st["entries"] == 2 and st["hits"] == 1
+    cache.close()

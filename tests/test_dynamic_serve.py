@@ -1,0 +1,352 @@
+"""Dynamic sessions through the serve daemon: verbs, staleness, resume.
+
+Reuses the two harness styles of ``test_serve_daemon``: threadless
+daemons (requests via ``handle_request``, executor driven by hand) for
+everything that asserts on submit/dispatch interleaving or restart, and
+a live socket daemon for the end-to-end client path.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph, update_stream
+from repro.graph import erdos_renyi, write_edgelist
+from repro.rng import philox_stream
+from repro.serve import Client, Daemon, ServeConfig, ServeError, wait_server
+
+from .test_serve_daemon import drive, threadless
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(60, 240, philox_stream(31), weighted=True)
+
+
+@pytest.fixture
+def graph_file(graph, tmp_path):
+    path = str(tmp_path / "g.edges")
+    write_edgelist(graph, path)
+    return path
+
+
+@pytest.fixture
+def stream(graph):
+    return list(update_stream(graph, seed=7, batches=6, batch_size=10))
+
+
+def dyn_open(d, path, **fields):
+    reply = d.handle_request({"op": "dyn_open", "path": path, **fields})
+    assert reply["ok"], reply
+    return reply["session"]
+
+
+def dyn_query(d, sid, query="components", **fields):
+    reply = d.handle_request({"op": "dyn_query", "session": sid,
+                              "query": query, **fields})
+    assert reply["ok"], reply
+    return reply["job"]
+
+
+def local_reference(graph, stream, **kw):
+    dyn = DynamicGraph(graph, p=4, seed=0, backend="sim", **kw)
+    for ops in stream:
+        dyn.update_edges(ops)
+    return dyn
+
+
+# -- verbs, threadless --------------------------------------------------------
+
+
+def test_dyn_verbs_validate(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    missing = d.handle_request({"op": "dyn_open"})
+    assert missing["error"] == "ProtocolError"
+    bad_fp = d.handle_request({"op": "dyn_open", "path": graph_file,
+                               "fingerprint": "f" * 64})
+    assert bad_fp["error"] == "FingerprintMismatch"
+    gone = d.handle_request({"op": "dyn_update", "session": "dX",
+                             "ops": []})
+    assert gone["error"] == "ProtocolError"
+    sid = dyn_open(d, graph_file)
+    assert d.handle_request({"op": "dyn_update", "session": sid,
+                             "ops": "nope"})["error"] == "ProtocolError"
+    assert d.handle_request(
+        {"op": "dyn_query", "session": sid,
+         "query": "frobnicate"})["error"] == "ProtocolError"
+    assert d.handle_request(
+        {"op": "dyn_query", "session": sid, "query": "cut",
+         "mode": "psychic"})["error"] == "ProtocolError"
+    assert d.handle_request(
+        {"op": "dyn_query", "session": sid, "query": "cut",
+         "if_stale": "shrug"})["error"] == "ProtocolError"
+
+
+def test_dyn_update_bad_ops_typed_error(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file)
+    reply = d.handle_request({"op": "dyn_update", "session": sid,
+                              "ops": [["delete", 0, 59]]})
+    assert reply["error"] == "BadUpdate"
+    # the failed batch was not applied: epoch unmoved
+    st = d.handle_request({"op": "dyn_staleness", "session": sid})
+    assert st["epoch"] == 0
+
+
+def test_dyn_query_matches_local(graph, graph_file, stream, tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file, seed=0, p=4)
+    for ops in stream:
+        reply = d.handle_request({"op": "dyn_update", "session": sid,
+                                  "ops": ops})
+        assert reply["ok"]
+    jid = dyn_query(d, sid, "components")
+    drive(d)
+    doc = d.handle_request({"op": "result", "job": jid})["result"]
+    ref = local_reference(graph, stream).query_components()
+    assert doc["epoch"] == len(stream)
+    assert doc["n_components"] == ref.n_components
+    assert doc["labels"] == [int(x) for x in ref.labels]
+    assert doc["session"] == sid
+
+
+def test_dyn_close_discards_state(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file)
+    ddir = d.dynamic.dir
+    import os
+
+    assert os.path.exists(os.path.join(ddir, f"{sid}.json"))
+    reply = d.handle_request({"op": "dyn_close", "session": sid})
+    assert reply["closed"]
+    assert not os.path.exists(os.path.join(ddir, f"{sid}.json"))
+    assert not os.path.exists(os.path.join(ddir, f"{sid}.updates.jsonl"))
+    # idempotent
+    assert not d.handle_request({"op": "dyn_close",
+                                 "session": sid})["closed"]
+
+
+def test_stats_reports_sessions(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file)
+    d.handle_request({"op": "dyn_update", "session": sid,
+                      "ops": [["insert", 0, 1, 1.0]]})
+    st = d.handle_request({"op": "stats"})
+    assert st["dynamic"] == {"sessions": 1, "epochs": {sid: 1}}
+
+
+# -- satellite: stale-epoch jobs at dispatch ----------------------------------
+
+
+def test_stale_epoch_rejected_with_typed_error(graph_file, stream, tmp_path):
+    """An update lands between submit and dispatch: reject is typed."""
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file, seed=0, p=4)
+    jid = dyn_query(d, sid, "components", if_stale="reject")
+    # epoch advances while the job sits in the queue
+    d.handle_request({"op": "dyn_update", "session": sid, "ops": stream[0]})
+    drive(d)
+    job = d.jobs[jid]
+    assert job.state == "failed"
+    assert job.error_type == "StaleEpoch"
+    reply = d.handle_request({"op": "result", "job": jid})
+    assert reply["error"] == "StaleEpoch"
+    assert "0 -> 1" in reply["message"]
+
+
+def test_stale_epoch_requeue_answers_live_epoch(graph, graph_file, stream,
+                                                tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file, seed=0, p=4)
+    jid = dyn_query(d, sid, "components", if_stale="requeue")
+    d.handle_request({"op": "dyn_update", "session": sid, "ops": stream[0]})
+    drive(d)
+    job = d.jobs[jid]
+    assert job.state == "done"
+    doc = job.result
+    assert doc["repinned_from_epoch"] == 0
+    assert doc["epoch"] == 1
+    ref = local_reference(graph, stream[:1]).query_components()
+    assert doc["n_components"] == ref.n_components
+    assert doc["labels"] == [int(x) for x in ref.labels]
+
+
+def test_fresh_job_carries_no_repin_marker(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file)
+    jid = dyn_query(d, sid, "components", if_stale="requeue")
+    drive(d)
+    assert "repinned_from_epoch" not in d.jobs[jid].result
+
+
+def test_query_after_close_fails_session_closed(graph_file, tmp_path):
+    d = threadless(tmp_path)
+    sid = dyn_open(d, graph_file)
+    jid = dyn_query(d, sid, "components")
+    d.handle_request({"op": "dyn_close", "session": sid})
+    drive(d)
+    job = d.jobs[jid]
+    assert job.state == "failed"
+    assert job.error_type == "SessionClosed"
+    assert d.handle_request({"op": "result",
+                             "job": jid})["error"] == "SessionClosed"
+
+
+# -- restart resume -----------------------------------------------------------
+
+
+def test_restart_replays_update_log_bit_identically(
+        graph, graph_file, stream, tmp_path):
+    state = str(tmp_path / "state")
+    d1 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    sid = dyn_open(d1, graph_file, seed=0, p=4)
+    for ops in stream[:4]:
+        d1.handle_request({"op": "dyn_update", "session": sid, "ops": ops})
+    del d1                                      # simulated kill
+
+    d2 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    st = d2.handle_request({"op": "dyn_staleness", "session": sid})
+    assert st["epoch"] == 4                     # resumed mid-stream
+    for ops in stream[4:]:
+        d2.handle_request({"op": "dyn_update", "session": sid, "ops": ops})
+    jid = dyn_query(d2, sid, "components")
+    drive(d2)
+    doc = d2.jobs[jid].result
+    ref = local_reference(graph, stream).query_components()
+    assert doc["epoch"] == len(stream)
+    assert doc["n_components"] == ref.n_components
+    assert doc["labels"] == [int(x) for x in ref.labels]
+
+
+def test_restart_replays_resparsify_events(graph, graph_file, stream,
+                                           tmp_path):
+    """Approx answers after a restart match the uninterrupted run.
+
+    Rebuilds are query-triggered, so the session's write-ahead log
+    records them; a resumed daemon must re-trigger each one during
+    replay to keep the sparsifier base (and so every later approx
+    answer) bit-identical.
+    """
+    knobs = dict(seed=0, p=4, drift_threshold=0.05, trial_scale=0.2)
+
+    def stream_with_queries(d, sid, batches):
+        sha = None
+        for ops in batches:
+            d.handle_request({"op": "dyn_update", "session": sid,
+                              "ops": ops})
+            jid = dyn_query(d, sid, "cut", mode="approx")
+            drive(d)
+            sha = d.jobs[jid].result["certificate"]["sparsifier_sha256"]
+        return sha
+
+    # uninterrupted reference
+    d0 = Daemon(ServeConfig(bind="", state_dir=str(tmp_path / "s0"),
+                            backend="sim"))
+    s0 = dyn_open(d0, graph_file, **knobs)
+    ref_sha = stream_with_queries(d0, s0, stream)
+    assert d0.dynamic.get(s0).dyn.counters["resparsifications"] >= 2
+
+    # killed after 3 batches, restarted, streams the rest
+    state = str(tmp_path / "state")
+    d1 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    sid = dyn_open(d1, graph_file, **knobs)
+    stream_with_queries(d1, sid, stream[:3])
+    del d1
+    d2 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    got_sha = stream_with_queries(d2, sid, stream[3:])
+    assert got_sha == ref_sha
+    jid = dyn_query(d2, sid, "cut", mode="exact")
+    drive(d2)
+    ref = local_reference(graph, stream, **{k: v for k, v in knobs.items()
+                                            if k not in ("seed", "p")})
+    assert d2.jobs[jid].result["value"] == \
+        ref.query_cut(mode="exact").value
+
+
+def test_resume_skips_sessions_with_missing_graph(graph_file, tmp_path):
+    import os
+
+    state = str(tmp_path / "state")
+    d1 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    sid = dyn_open(d1, graph_file)
+    del d1
+    os.unlink(graph_file)
+    d2 = Daemon(ServeConfig(bind="", state_dir=state, backend="sim"))
+    assert d2.dynamic.get(sid) is None          # unrecoverable, not crashed
+    reply = d2.handle_request({"op": "dyn_staleness", "session": sid})
+    assert reply["error"] == "ProtocolError"
+
+
+# -- live socket daemon -------------------------------------------------------
+
+
+def test_live_stream_interleaved_queries_match_local(
+        graph, graph_file, stream, tmp_path):
+    cfg = ServeConfig(bind=str(tmp_path / "s.sock"),
+                      state_dir=str(tmp_path / "state"), backend="sim",
+                      p=4)
+    local = DynamicGraph(graph, p=4, seed=0, backend="sim")
+    with Daemon(cfg) as daemon:
+        wait_server(daemon.address)
+        with Client(daemon.address, client="t") as c:
+            sid = c.dyn_open(graph_file, seed=0, p=4)
+            for ops in stream:
+                st = c.dyn_update(sid, ops)
+                local.update_edges(ops)
+                doc = c.dyn_components(sid)
+                ref = local.query_components()
+                assert doc["epoch"] == st["epoch"] == local.epoch
+                assert doc["n_components"] == ref.n_components
+                assert doc["labels"] == [int(x) for x in ref.labels]
+            stale = c.dyn_staleness(sid)
+            assert stale["epoch"] == len(stream)
+            with pytest.raises(ServeError) as err:
+                c.dyn_query("dXXXXXX", "components")
+            assert err.value.error == "ProtocolError"
+            assert c.dyn_close(sid)["closed"]
+
+
+def test_live_concurrent_updates_and_queries_converge(
+        graph, graph_file, stream, tmp_path):
+    """A writer streams batches while a reader polls components.
+
+    Every reader answer must certify a real epoch and match a local
+    replay truncated to that epoch (bounded staleness: never a torn or
+    mid-batch view).
+    """
+    cfg = ServeConfig(bind=str(tmp_path / "s.sock"),
+                      state_dir=str(tmp_path / "state"), backend="sim",
+                      p=4)
+    refs = {}  # per-epoch local reference answers
+    local = DynamicGraph(graph, p=4, seed=0, backend="sim")
+    refs[0] = local.query_components()
+    for i, ops in enumerate(stream, start=1):
+        local.update_edges(ops)
+        refs[i] = local.query_components()
+
+    answers = []
+    with Daemon(cfg) as daemon:
+        wait_server(daemon.address)
+        with Client(daemon.address, client="w") as w:
+            sid = w.dyn_open(graph_file, seed=0, p=4)
+
+            def read():
+                # "requeue": a poll racing a writer answers the live
+                # epoch instead of failing with StaleEpoch
+                with Client(daemon.address, client="r") as r:
+                    for _ in range(4):
+                        answers.append(
+                            r.dyn_components(sid, if_stale="requeue"))
+
+            t = threading.Thread(target=read)
+            t.start()
+            for ops in stream:
+                w.dyn_update(sid, ops)
+            t.join(120)
+            answers.append(w.dyn_components(sid))
+    assert answers[-1]["epoch"] == len(stream)
+    for doc in answers:
+        ref = refs[doc["epoch"]]
+        assert doc["n_components"] == ref.n_components
+        assert doc["labels"] == [int(x) for x in ref.labels]

@@ -246,6 +246,56 @@ def test_worker_crash_leaks_no_segments(big_graph):
     assert shm_segments() == []
 
 
+# -- epoch bumps (dynamic graphs) --------------------------------------------
+
+def test_bump_epoch_retires_old_segment_and_republishes(big_graph):
+    g2 = erdos_renyi(400, 4000, philox_stream(8), weighted=True)
+    fp1 = cached_fingerprint(big_graph)
+    fp2 = cached_fingerprint(g2)
+    plane.publish(big_graph)
+    plane.pin(fp1)
+    assert plane.published() == {fp1: 1}
+
+    h = plane.bump_epoch(fp1, g2)
+    # old epoch's segment: unpinned and unlinked; new epoch: pinned
+    assert h.fingerprint == fp2
+    assert plane.published() == {fp2: 1}
+    assert len(shm_segments()) == 1
+    plane.release_pins((fp2,))
+    assert shm_segments() == []
+
+
+def test_bump_epoch_from_nothing_just_publishes(big_graph):
+    h = plane.bump_epoch(None, big_graph)
+    assert plane.published() == {h.fingerprint: 1}
+    plane.release_pins((h.fingerprint,))
+    assert shm_segments() == []
+
+
+def test_dynamic_graph_bumps_plane_per_epoch(big_graph):
+    """A DynamicGraph with plane=True advances the pinned ``rgpl*``
+    segment exactly when a query touches a new epoch, and its close()
+    releases the last pin."""
+    from repro.dynamic import DynamicGraph
+
+    with DynamicGraph(big_graph, p=2, seed=0, plane=True) as dyn:
+        dyn.query_components()
+        dyn.publish_epoch()
+        fp0 = dyn.fingerprint()
+        assert plane.published() == {fp0: 1}
+        dyn.update_edges([("insert", 0, 399, 1.0)])
+        assert plane.published() == {fp0: 1}    # lazy: bumps on query
+        dyn.query_components()
+        dyn.publish_epoch()
+        fp1 = dyn.fingerprint()
+        assert fp1 != fp0
+        assert plane.published() == {fp1: 1}    # old epoch retired
+        assert len(shm_segments()) == 1
+        assert dyn.counters["epoch_bumps"] == 2
+    assert plane.published() == {}
+    assert shm_segments() == []
+
+
 # -- serve GraphCache pin lockstep -------------------------------------------
 
 def test_graph_cache_pins_follow_residency(big_graph):
